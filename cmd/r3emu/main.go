@@ -1,0 +1,44 @@
+// Command r3emu runs the packet-level Abilene experiment (the paper's
+// Emulab evaluation, §5.3): MPLS-ff+R3 or OSPF reconvergence under three
+// sequential bidirectional link failures, reporting per-OD throughput,
+// per-link intensity, per-egress loss (Figure 11), ping RTT (Figure 12),
+// and the R3-vs-OSPF link intensity comparison (Figure 13).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "11", "figure: 11, 12 or 13")
+		phase  = flag.Float64("phase", 10, "seconds per failure phase")
+		mbps   = flag.Float64("mbps", 220, "aggregate offered traffic")
+		effort = flag.Int("effort", 120, "R3 precompute effort")
+		seed   = flag.Int64("seed", 1, "packet jitter seed")
+	)
+	flag.Parse()
+
+	cfg := exp.EmulationConfig{
+		PhaseSeconds: *phase, TotalMbps: *mbps, Effort: *effort, Seed: *seed,
+	}
+	switch *fig {
+	case "11":
+		r := exp.RunEmulation("MPLS-ff+R3", cfg)
+		exp.Figure11(r, os.Stdout)
+	case "12":
+		r := exp.RunEmulation("MPLS-ff+R3", cfg)
+		exp.Figure12(r, os.Stdout)
+	case "13":
+		r3 := exp.RunEmulation("MPLS-ff+R3", cfg)
+		ospf := exp.RunEmulation("OSPF+recon", cfg)
+		exp.Figure13(r3, ospf, os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "r3emu: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

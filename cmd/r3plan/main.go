@@ -1,0 +1,187 @@
+// Command r3plan is the operational face of R3: precompute a protection
+// plan for a topology and traffic matrix, save/load it in the wire format
+// a central server would distribute (§4.3), and interrogate it — apply
+// hypothetical failures, print the resulting detours and utilization, and
+// verify the congestion-free certificate.
+//
+// Usage:
+//
+//	r3plan -net sbc -f 2 -save plan.json
+//	r3plan -net sbc -load plan.json -fail 3,17 -detours
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		name      = flag.String("net", "abilene", "topology: abilene|level3|sbc|uunet|generated|usisp")
+		file      = flag.String("file", "", "load a topology file instead of a built-in")
+		tmFile    = flag.String("tm", "", "load a traffic matrix file instead of gravity demands")
+		f         = flag.Int("f", 1, "number of overlapping link failures to protect against")
+		total     = flag.Float64("total", 0, "total demand in Mbps (default: 15% of capacity)")
+		effort    = flag.Int("effort", 200, "solver effort")
+		envelope  = flag.Float64("envelope", 1.1, "normal-case penalty envelope (0 to disable)")
+		seed      = flag.Int64("seed", 1, "gravity traffic seed")
+		save      = flag.String("save", "", "write the plan to this file")
+		load      = flag.String("load", "", "read a plan from this file instead of solving")
+		fail      = flag.String("fail", "", "comma-separated link IDs to fail")
+		detours   = flag.Bool("detours", false, "print detours for the failed links")
+		verify    = flag.Int("verify", 0, "audit the plan by enumerating failure sets of up to N links")
+		verifyCap = flag.Int("verifycap", 20000, "max scenarios for -verify (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *file != "" {
+		r, ferr := os.Open(*file)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		g, err = topo.Parse(r)
+		r.Close()
+	} else {
+		g, err = lookupTopo(*name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var d *traffic.Matrix
+	if *tmFile != "" {
+		r, ferr := os.Open(*tmFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		d, err = traffic.ParseMatrix(r, g.NumNodes(), g.NodeByName)
+		r.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		d = traffic.Gravity(g, demandTotal(*total, g), *seed)
+	}
+
+	var plan *core.Plan
+	if *load != "" {
+		r, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err = core.DecodePlan(r, g)
+		r.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded plan: MLU over d+X = %.4f (normal %.4f)\n", plan.MLU, plan.NormalMLU)
+	} else {
+		fmt.Printf("precomputing R3 plan for %s, F=%d...\n", g.Name, *f)
+		plan, err = core.Precompute(g, d, core.Config{
+			Model:           core.ArbitraryFailures{F: *f},
+			Iterations:      *effort,
+			PenaltyEnvelope: *envelope,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan MLU over d+X%d = %.4f (normal case %.4f)\n", *f, plan.MLU, plan.NormalMLU)
+	}
+	if plan.CongestionFree() {
+		fmt.Println("certificate: congestion-free under every covered failure scenario (Theorem 1)")
+	} else {
+		fmt.Println("certificate: NOT congestion-free (MLU > 1); reroutes are best-effort")
+	}
+
+	if *save != "" {
+		w, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.Encode(w); err != nil {
+			fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan written to %s\n", *save)
+	}
+
+	if *verify > 0 {
+		rep, err := plan.Verify(*verify, *verifyCap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\naudit over %d scenarios (up to %d failures): worst MLU %.4f at %v, %d partitions, %d violations of the plan bound\n",
+			rep.Scenarios, *verify, rep.WorstMLU, rep.WorstScenario, rep.Partitions, rep.Violations)
+	}
+
+	if *fail != "" {
+		st := core.NewState(plan)
+		var failed []graph.LinkID
+		for _, tok := range strings.Split(*fail, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || id < 0 || id >= g.NumLinks() {
+				fatal(fmt.Errorf("bad link id %q", tok))
+			}
+			failed = append(failed, graph.LinkID(id))
+		}
+		if err := st.FailAll(failed...); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nafter failing %v: MLU = %.4f, lost demand %.2f Mbps\n",
+			failed, st.MLU(), st.LostDemand())
+		if *detours {
+			for _, e := range failed {
+				l := g.Link(e)
+				fmt.Printf("detour for link %d (%s -> %s):\n", e, g.Node(l.Src), g.Node(l.Dst))
+				xi := st.Detour(e)
+				for le, v := range xi {
+					if v > 1e-9 {
+						dl := g.Link(graph.LinkID(le))
+						fmt.Printf("  %5.1f%% via %s -> %s\n", v*100, g.Node(dl.Src), g.Node(dl.Dst))
+					}
+				}
+			}
+		}
+	}
+}
+
+func lookupTopo(name string) (*graph.Graph, error) {
+	switch strings.ToLower(name) {
+	case "abilene":
+		return topo.Abilene(), nil
+	case "level3":
+		return topo.Level3(), nil
+	case "sbc":
+		return topo.SBC(), nil
+	case "uunet":
+		return topo.UUNet(), nil
+	case "generated":
+		return topo.Generated(), nil
+	case "usisp":
+		return topo.USISP(), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func demandTotal(flagVal float64, g *graph.Graph) float64 {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return 0.15 * g.TotalCapacity()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "r3plan:", err)
+	os.Exit(1)
+}

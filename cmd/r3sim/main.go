@@ -1,0 +1,91 @@
+// Command r3sim runs the paper's simulation experiments: time series and
+// sorted-scenario comparisons of R3 against OSPF reconvergence,
+// CSPF-detour fast reroute, FCP, Path Splicing and per-scenario optimal
+// detours, plus the tables and ablations.
+//
+// Usage:
+//
+//	r3sim -exp table1
+//	r3sim -exp fig4 -effort 200 -days 7
+//	r3sim -exp fig6 -failures 3
+//	r3sim -exp ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which     = flag.String("exp", "table1", "experiment: table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation")
+		failures  = flag.Int("failures", 2, "failure count for fig5/fig6/fig7 (2 or 3)")
+		day       = flag.Int("day", 1, "day index for fig3 (0-6)")
+		effort    = flag.Int("effort", 0, "precompute effort (0 = default)")
+		optIter   = flag.Int("optiter", 0, "per-scenario optimal solver effort")
+		scenarios = flag.Int("scenarios", 0, "max sampled scenarios")
+		days      = flag.Int("days", 0, "days for week-scale experiments")
+		beta      = flag.Float64("beta", 1.1, "penalty envelope for fig9")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quick     = flag.Bool("quick", false, "reduced-scale smoke run")
+		outFile   = flag.String("o", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	o := exp.Options{
+		Effort: *effort, OptIter: *optIter, MaxScenarios: *scenarios,
+		Days: *days, Seed: *seed,
+	}
+	if *quick {
+		o = exp.Quick()
+	}
+	w := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "r3sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *which {
+	case "table1":
+		exp.Table1(w)
+	case "table2":
+		exp.PrintTable2(w, exp.Table2(o))
+	case "table3":
+		exp.PrintTable3(w, exp.Table3(o))
+	case "fig3":
+		exp.Figure3(exp.NewUSISP(o), *day, o).Print(w)
+	case "fig4":
+		exp.Figure4(exp.NewUSISP(o), o).Print(w)
+	case "fig5":
+		exp.Figure5(exp.NewUSISP(o), *failures, o).Print(w)
+	case "fig6":
+		exp.RocketfuelFigure("SBC", *failures, o).Print(w)
+	case "fig7":
+		exp.RocketfuelFigure("Level3", *failures, o).Print(w)
+	case "fig8":
+		exp.Figure8(exp.NewUSISP(o), o).Print(w)
+	case "fig9":
+		exp.Figure9(exp.NewUSISP(o), *beta, o).Print(w)
+	case "fig10":
+		exp.Figure10(exp.NewUSISP(o), o).Print(w)
+	case "ablation":
+		exp.SolverGap(o).Print(w)
+		exp.PrintEnvelopeSweep(w, exp.EnvelopeSweep([]float64{1.0, 1.05, 1.1, 1.2, math.Inf(1)}, o))
+		exp.VirtualDemand(o).Print(w)
+		exp.PrintHashSplit(w, exp.HashSplit([]int{4, 6, 8, 10}, 100000, o))
+	default:
+		fmt.Fprintf(os.Stderr, "r3sim: unknown experiment %q\n", *which)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,53 @@
+// Priority: prioritized resilient routing (paper §3.5). Three traffic
+// classes with different SLAs — TPRT protected against 4 overlapping
+// failures, TPP against 2, general IP against 1 — share one base and one
+// protection routing, computed so that d_i + X_{F_i} is congestion-free
+// for every class i.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func main() {
+	g := topo.Abilene()
+	total := traffic.Gravity(g, 180, 5)
+	classes := traffic.SplitClasses(total, 0.12, 0.22, 9)
+	fmt.Printf("traffic: TPRT %.0f, TPP %.0f, IP %.0f Mbps\n",
+		classes[traffic.TPRT].Total(), classes[traffic.TPP].Total(), classes[traffic.IP].Total())
+
+	prioritized, err := core.PrecomputePrioritized(g, []core.Priority{
+		{Demand: classes[traffic.TPRT], F: 4},
+		{Demand: classes[traffic.TPP], F: 2},
+		{Demand: classes[traffic.IP], F: 1},
+	}, core.Config{Iterations: 250})
+	if err != nil {
+		log.Fatal(err)
+	}
+	general, err := core.Precompute(g, total, core.Config{
+		Model: core.ArbitraryFailures{F: 1}, Iterations: 250,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the two plans' per-class bottlenecks under a harsh
+	// four-link failure scenario.
+	scenario := graph.NewLinkSet(0, 1, 10, 11) // two duplex fiber cuts
+	fmt.Printf("\nper-class bottleneck under failures %v:\n", scenario)
+	fmt.Printf("%-8s %-14s %-18s\n", "class", "general R3", "prioritized R3")
+	gen := eval.ClassBottlenecks(general, classes, scenario)
+	pri := eval.ClassBottlenecks(prioritized, classes, scenario)
+	for _, cls := range []traffic.Class{traffic.TPRT, traffic.TPP, traffic.IP} {
+		fmt.Printf("%-8s %-14.3f %-18.3f\n", cls, gen[cls], pri[cls])
+	}
+	fmt.Println("\nprioritized R3 shields TPRT and TPP at the cost of best-effort IP,")
+	fmt.Println("exactly the differentiation the paper's Figure 8 demonstrates.")
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Plan wire format: the paper's architecture (§4.3) has a central server
+// precompute (r, p) and distribute them to routers; this codec is that
+// wire format. Fractions are stored sparsely (only nonzero allocations),
+// so even the largest topology's plan stays small.
+
+// planWireVersion guards against format drift.
+const planWireVersion = 1
+
+type wireEntry struct {
+	Link graph.LinkID `json:"l"`
+	Frac float64      `json:"f"`
+}
+
+type wireCommodity struct {
+	Src    graph.NodeID `json:"src"`
+	Dst    graph.NodeID `json:"dst"`
+	Demand float64      `json:"demand"`
+	Alloc  []wireEntry  `json:"alloc"`
+}
+
+type wireModel struct {
+	Type  string           `json:"type"` // "arbitrary" or "group"
+	F     int              `json:"f,omitempty"`
+	K     int              `json:"k,omitempty"`
+	SRLGs [][]graph.LinkID `json:"srlgs,omitempty"`
+	MLGs  [][]graph.LinkID `json:"mlgs,omitempty"`
+}
+
+type wirePlan struct {
+	Version   int             `json:"version"`
+	Topology  string          `json:"topology"`
+	Nodes     int             `json:"nodes"`
+	Links     int             `json:"links"`
+	Model     wireModel       `json:"model"`
+	MLU       float64         `json:"mlu"`
+	NormalMLU float64         `json:"normal_mlu"`
+	Base      []wireCommodity `json:"base"`
+	// Prot[l] holds link l's protection allocations.
+	Prot [][]wireEntry `json:"prot"`
+}
+
+// Encode writes the plan in its JSON wire format.
+func (p *Plan) Encode(w io.Writer) error {
+	wp := wirePlan{
+		Version:   planWireVersion,
+		Topology:  p.G.Name,
+		Nodes:     p.G.NumNodes(),
+		Links:     p.G.NumLinks(),
+		MLU:       p.MLU,
+		NormalMLU: p.NormalMLU,
+	}
+	switch m := p.Model.(type) {
+	case ArbitraryFailures:
+		wp.Model = wireModel{Type: "arbitrary", F: m.F}
+	case GroupFailures:
+		wp.Model = wireModel{Type: "group", K: m.K, SRLGs: m.SRLGs, MLGs: m.MLGs}
+	default:
+		return fmt.Errorf("core: cannot encode failure model %T", p.Model)
+	}
+	for k, c := range p.Base.Comms {
+		wc := wireCommodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand}
+		for e, v := range p.Base.Frac[k] {
+			if v > 1e-12 {
+				wc.Alloc = append(wc.Alloc, wireEntry{Link: graph.LinkID(e), Frac: v})
+			}
+		}
+		wp.Base = append(wp.Base, wc)
+	}
+	wp.Prot = make([][]wireEntry, len(p.Prot))
+	for l := range p.Prot {
+		for e, v := range p.Prot[l] {
+			if v > 1e-12 {
+				wp.Prot[l] = append(wp.Prot[l], wireEntry{Link: graph.LinkID(e), Frac: v})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&wp)
+}
+
+// DecodePlan reads a plan from its wire format and binds it to g, which
+// must be the same topology the plan was computed for (name, node count
+// and link count are verified; allocations are range-checked).
+func DecodePlan(r io.Reader, g *graph.Graph) (*Plan, error) {
+	var wp wirePlan
+	if err := json.NewDecoder(r).Decode(&wp); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %v", err)
+	}
+	if wp.Version != planWireVersion {
+		return nil, fmt.Errorf("core: plan version %d, want %d", wp.Version, planWireVersion)
+	}
+	if wp.Topology != g.Name || wp.Nodes != g.NumNodes() || wp.Links != g.NumLinks() {
+		return nil, fmt.Errorf("core: plan for %s (%d/%d) does not match topology %s (%d/%d)",
+			wp.Topology, wp.Nodes, wp.Links, g.Name, g.NumNodes(), g.NumLinks())
+	}
+	var model FailureModel
+	switch wp.Model.Type {
+	case "arbitrary":
+		model = ArbitraryFailures{F: wp.Model.F}
+	case "group":
+		model = GroupFailures{K: wp.Model.K, SRLGs: wp.Model.SRLGs, MLGs: wp.Model.MLGs}
+	default:
+		return nil, fmt.Errorf("core: unknown failure model %q", wp.Model.Type)
+	}
+
+	comms := make([]routing.Commodity, len(wp.Base))
+	for i, wc := range wp.Base {
+		if int(wc.Src) >= g.NumNodes() || int(wc.Dst) >= g.NumNodes() || wc.Src < 0 || wc.Dst < 0 {
+			return nil, fmt.Errorf("core: commodity %d endpoints out of range", i)
+		}
+		comms[i] = routing.Commodity{Src: wc.Src, Dst: wc.Dst, Demand: wc.Demand, Link: -1}
+	}
+	base := routing.NewFlow(g, comms)
+	for i, wc := range wp.Base {
+		for _, en := range wc.Alloc {
+			if int(en.Link) >= g.NumLinks() || en.Link < 0 {
+				return nil, fmt.Errorf("core: commodity %d references link %d", i, en.Link)
+			}
+			base.Frac[i][en.Link] = en.Frac
+		}
+	}
+	if err := base.Validate(1e-5); err != nil {
+		return nil, fmt.Errorf("core: decoded base routing invalid: %v", err)
+	}
+
+	if len(wp.Prot) != g.NumLinks() {
+		return nil, fmt.Errorf("core: protection has %d rows, want %d", len(wp.Prot), g.NumLinks())
+	}
+	prot := make([][]float64, g.NumLinks())
+	for l := range wp.Prot {
+		prot[l] = make([]float64, g.NumLinks())
+		for _, en := range wp.Prot[l] {
+			if int(en.Link) >= g.NumLinks() || en.Link < 0 {
+				return nil, fmt.Errorf("core: protection row %d references link %d", l, en.Link)
+			}
+			prot[l][en.Link] = en.Frac
+		}
+	}
+	// The protection routing must itself satisfy [R1]-[R4] for its
+	// head->tail commodities.
+	pf := routing.NewFlow(g, routing.LinkCommodities(g))
+	for l := range prot {
+		copy(pf.Frac[l], prot[l])
+	}
+	if err := pf.Validate(1e-5); err != nil {
+		return nil, fmt.Errorf("core: decoded protection routing invalid: %v", err)
+	}
+
+	return &Plan{
+		G: g, Model: model, Base: base, Prot: prot,
+		MLU: wp.MLU, NormalMLU: wp.NormalMLU,
+	}, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tiny indirections keep the corruption test readable.
+func jsonUnmarshal(b []byte, v interface{}) error { return json.Unmarshal(b, v) }
+func jsonMarshal(v interface{}) ([]byte, error)   { return json.Marshal(v) }
+
+func TestPlanEncodeDecodeRoundTrip(t *testing.T) {
+	g := ring5(t)
+	d := ring5Demand(g, 120)
+	plan, err := Precompute(g, d, Config{Model: ArbitraryFailures{F: 1}, Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlan(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MLU != plan.MLU || got.NormalMLU != plan.NormalMLU {
+		t.Fatalf("objective drift: %v/%v vs %v/%v", got.MLU, got.NormalMLU, plan.MLU, plan.NormalMLU)
+	}
+	if got.Model.MaxFailures() != 1 {
+		t.Fatalf("model = %+v", got.Model)
+	}
+	for k := range plan.Base.Frac {
+		for e := range plan.Base.Frac[k] {
+			a, b := plan.Base.Frac[k][e], got.Base.Frac[k][e]
+			if math.Abs(a-b) > 1e-12 && a > 1e-12 {
+				t.Fatalf("base frac mismatch at %d/%d: %v vs %v", k, e, a, b)
+			}
+		}
+	}
+	for l := range plan.Prot {
+		for e := range plan.Prot[l] {
+			a, b := plan.Prot[l][e], got.Prot[l][e]
+			if math.Abs(a-b) > 1e-12 && a > 1e-12 {
+				t.Fatalf("prot mismatch at %d/%d: %v vs %v", l, e, a, b)
+			}
+		}
+	}
+	// The decoded plan reconfigures identically.
+	s1, s2 := NewState(plan), NewState(got)
+	if err := s1.FailAll(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.FailAll(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.MLU()-s2.MLU()) > 1e-9 {
+		t.Fatalf("decoded plan reconfigures differently: %v vs %v", s1.MLU(), s2.MLU())
+	}
+}
+
+func TestPlanDecodeGroupModel(t *testing.T) {
+	g := ring5(t)
+	g.AddSRLG(0, 1)
+	g.AddMLG(2, 3)
+	d := ring5Demand(g, 80)
+	plan, err := Precompute(g, d, Config{Model: ModelFromGraph(g, 1), Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePlan(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got.Model.(GroupFailures)
+	if !ok || m.K != 1 || len(m.SRLGs) != 1 || len(m.MLGs) != 1 {
+		t.Fatalf("decoded model = %+v", got.Model)
+	}
+}
+
+func TestPlanDecodeRejectsWrongTopology(t *testing.T) {
+	g := ring5(t)
+	d := ring5Demand(g, 80)
+	plan, err := Precompute(g, d, Config{Model: ArbitraryFailures{F: 1}, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := mesh6(t)
+	if _, err := DecodePlan(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatalf("plan accepted for wrong topology")
+	}
+}
+
+func TestPlanDecodeRejectsCorruption(t *testing.T) {
+	g := ring5(t)
+	d := ring5Demand(g, 80)
+	plan, err := Precompute(g, d, Config{Model: ArbitraryFailures{F: 1}, Iterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string][2]string{
+		"wrong version":    {`"version":1`, `"version":99`},
+		"wrong link count": {`"links":14`, `"links":13`},
+	}
+	for name, rep := range corruptions {
+		s := strings.Replace(buf.String(), rep[0], rep[1], 1)
+		if s == buf.String() {
+			t.Fatalf("%s: pattern %q not found in wire format", name, rep[0])
+		}
+		if _, err := DecodePlan(strings.NewReader(s), g); err == nil {
+			t.Fatalf("%s: corrupted plan accepted", name)
+		}
+	}
+	// Structural corruption: blow up one protection fraction so [R2]
+	// breaks for that commodity.
+	var m map[string]interface{}
+	if err := jsonUnmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	prot := m["prot"].([]interface{})
+	row := prot[0].([]interface{})
+	entry := row[0].(map[string]interface{})
+	entry["f"] = 7.5
+	blob, err := jsonMarshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePlan(bytes.NewReader(blob), g); err == nil {
+		t.Fatalf("protection corruption accepted")
+	}
+	// Garbage input.
+	if _, err := DecodePlan(strings.NewReader("not json"), g); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestSumTopKAgainstSort(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Mod(math.Abs(x), 1000)
+		}
+		k := int(kRaw%40) + 1
+		got := sumTopK(v, k, nil)
+		sorted := append([]float64(nil), v...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		var want float64
+		for i := 0; i < k && i < len(sorted); i++ {
+			if sorted[i] > 0 {
+				want += sorted[i]
+			}
+		}
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumTopKMarks(t *testing.T) {
+	v := []float64{5, 1, 9, 0, 7, 3}
+	mark := make([]float64, len(v))
+	got := sumTopK(v, 3, mark)
+	if got != 21 {
+		t.Fatalf("sum = %v, want 21", got)
+	}
+	wantMark := []float64{1, 0, 1, 0, 1, 0}
+	for i := range wantMark {
+		if mark[i] != wantMark[i] {
+			t.Fatalf("mark = %v", mark)
+		}
+	}
+}
+
+func TestSumTopKEdgeCases(t *testing.T) {
+	if sumTopK(nil, 3, nil) != 0 {
+		t.Fatalf("nil slice")
+	}
+	if sumTopK([]float64{1, 2}, 0, nil) != 0 {
+		t.Fatalf("k=0")
+	}
+	if sumTopK([]float64{1, 2}, 5, nil) != 3 {
+		t.Fatalf("k > len")
+	}
+	// Negative entries never contribute.
+	if sumTopK([]float64{-5, 2, -1}, 2, nil) != 2 {
+		t.Fatalf("negatives counted")
+	}
+	// Large k path (k > 32 triggers the sort fallback).
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	want := 0.0
+	for i := 60; i < 100; i++ {
+		want += float64(i)
+	}
+	if got := sumTopK(v, 40, nil); got != want {
+		t.Fatalf("k=40: got %v want %v", got, want)
+	}
+}
+
+func TestArbitraryFailuresModel(t *testing.T) {
+	m := ArbitraryFailures{F: 2}
+	v := []float64{4, 1, 3, 2}
+	if got := m.WorstLoad(v); got != 7 {
+		t.Fatalf("WorstLoad = %v, want 7", got)
+	}
+	y := make([]float64, 4)
+	m.ActiveSet(v, y)
+	if y[0] != 1 || y[2] != 1 || y[1] != 0 || y[3] != 0 {
+		t.Fatalf("ActiveSet = %v", y)
+	}
+	if m.MaxFailures() != 2 {
+		t.Fatalf("MaxFailures = %d", m.MaxFailures())
+	}
+}
+
+func TestGroupFailuresModel(t *testing.T) {
+	m := GroupFailures{
+		SRLGs: [][]graph.LinkID{{0, 1}, {2}, {3}},
+		MLGs:  [][]graph.LinkID{{4, 5}, {6}},
+		K:     1,
+	}
+	v := []float64{3, 4, 10, 1, 2, 2, 5}
+	// Best SRLG: {2} with 10 (vs {0,1}=7). Best MLG: {4,5} = 4 vs {6} = 5.
+	if got := m.WorstLoad(v); got != 15 {
+		t.Fatalf("WorstLoad = %v, want 15", got)
+	}
+	y := make([]float64, 7)
+	m.ActiveSet(v, y)
+	want := []float64{0, 0, 1, 0, 0, 0, 1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("ActiveSet = %v", y)
+		}
+	}
+	// MaxFailures: largest SRLG (2 links) + largest MLG (2 links) = 3?
+	// K=1 takes the single largest SRLG {0,1} (2 links) + MLG {4,5} (2).
+	if got := m.MaxFailures(); got != 4 {
+		t.Fatalf("MaxFailures = %d, want 4", got)
+	}
+}
+
+func TestGroupFailuresK2(t *testing.T) {
+	m := GroupFailures{
+		SRLGs: [][]graph.LinkID{{0}, {1}, {2}},
+		K:     2,
+	}
+	v := []float64{3, 5, 4}
+	if got := m.WorstLoad(v); got != 9 {
+		t.Fatalf("WorstLoad = %v, want 9 (top-2 groups)", got)
+	}
+}
+
+func TestGroupFailuresEmpty(t *testing.T) {
+	m := GroupFailures{K: 3}
+	if m.WorstLoad([]float64{1, 2}) != 0 {
+		t.Fatalf("empty model has nonzero worst load")
+	}
+	if m.MaxFailures() != 0 {
+		t.Fatalf("empty model MaxFailures != 0")
+	}
+}
+
+func TestModelFromGraph(t *testing.T) {
+	g := graph.New("g")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	ab, ba := g.AddDuplex(a, b, 1, 1, 1)
+	bc, cb := g.AddDuplex(b, c, 1, 1, 1)
+	g.AddSRLG(ab, ba)
+	g.AddMLG(bc, cb)
+	m := ModelFromGraph(g, 2)
+	if len(m.SRLGs) != 1 || len(m.MLGs) != 1 || m.K != 2 {
+		t.Fatalf("model = %+v", m)
+	}
+}
+
+func TestArbitraryModelRandomizedSubgradient(t *testing.T) {
+	// ActiveSet must be a maximizer: sum(y*v) == WorstLoad.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(30)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() * 10
+		}
+		m := ArbitraryFailures{F: 1 + rng.Intn(5)}
+		y := make([]float64, n)
+		m.ActiveSet(v, y)
+		var dot float64
+		for i := range v {
+			dot += y[i] * v[i]
+		}
+		if math.Abs(dot-m.WorstLoad(v)) > 1e-9 {
+			t.Fatalf("trial %d: subgradient %v != worst %v", trial, dot, m.WorstLoad(v))
+		}
+	}
+}

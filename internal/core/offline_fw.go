@@ -1,0 +1,1093 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/routing"
+	"repro/internal/spf"
+	"repro/internal/traffic"
+)
+
+// Solver selects the offline optimization engine.
+type Solver int
+
+// Offline solvers.
+const (
+	// SolverFW is the iterative smoothed Frank–Wolfe solver; it scales to
+	// the largest topologies.
+	SolverFW Solver = iota
+	// SolverLP builds the paper's LP (7) and solves it exactly with the
+	// simplex solver; intended for small topologies and tests.
+	SolverLP
+)
+
+// Config controls Precompute.
+type Config struct {
+	// Model is the failure model to protect against (default
+	// ArbitraryFailures{1}).
+	Model FailureModel
+	// BaseRouting fixes the base routing r (e.g. OSPF) instead of jointly
+	// optimizing it. The flow's commodities are matched to the traffic
+	// matrix by (src, dst).
+	BaseRouting *routing.Flow
+	// Solver selects the engine (default SolverFW).
+	Solver Solver
+	// Iterations bounds Frank–Wolfe iterations (default 200).
+	Iterations int
+	// PenaltyEnvelope, when >= 1, bounds the normal-case MLU to
+	// PenaltyEnvelope × the optimal no-failure MLU (paper §3.5). The LP
+	// solver enforces the bound exactly for any β; the FW solver
+	// implements the β→1 limit by pinning the base routing to the optimal
+	// no-failure flow and optimizing only the protection routing, which
+	// always satisfies the envelope for β >= 1 (up to the min-MLU
+	// solver's own tolerance).
+	PenaltyEnvelope float64
+	// DelayEnvelope, when >= 1, bounds each OD pair's mean propagation
+	// delay to DelayEnvelope × its shortest-path delay (paper §3.5). The
+	// LP solver enforces it exactly; the FW solver starts from minimum-
+	// delay paths and restricts oracle directions to delay-feasible paths
+	// (average delay is linear in the fractions, so every iterate stays
+	// within the bound). When combined with PenaltyEnvelope under the FW
+	// solver, the penalty envelope wins (the base is pinned to the
+	// min-MLU routing); use the LP solver to enforce both together.
+	DelayEnvelope float64
+}
+
+// Priority couples one traffic class with the number of failures it must
+// tolerate (paper §3.5, prioritized resilient routing).
+type Priority struct {
+	// Demand is this class's own traffic (not cumulative).
+	Demand *traffic.Matrix
+	// F is the number of overlapping link failures the class tolerates.
+	F int
+}
+
+// Precompute runs R3 offline precomputation for a single traffic matrix.
+func Precompute(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) {
+	return PrecomputeVariations(g, []*traffic.Matrix{d}, cfg)
+}
+
+// PrecomputeVariations runs offline precomputation over a convex hull of
+// traffic matrices {d_1..d_H} (paper §3.5, handling traffic variations):
+// the returned plan is congestion-free for every matrix in the hull plus
+// virtual demands. Internally each hull vertex contributes its own set of
+// utilization rows.
+func PrecomputeVariations(g *graph.Graph, ds []*traffic.Matrix, cfg Config) (*Plan, error) {
+	if len(ds) == 0 {
+		return nil, errors.New("core: no traffic matrices")
+	}
+	if cfg.Model == nil {
+		cfg.Model = ArbitraryFailures{F: 1}
+	}
+	if cfg.Solver == SolverLP {
+		if len(ds) != 1 {
+			return nil, errors.New("core: LP solver supports a single matrix")
+		}
+		return precomputeLP(g, ds[0], cfg)
+	}
+	// Union of OD supports, demands from the envelope max... no: each
+	// hull vertex is its own requirement with the same failure model.
+	comms := unionCommodities(ds)
+	reqs := make([]requirement, len(ds))
+	for i, d := range ds {
+		reqs[i] = requirement{demands: demandVector(comms, d), model: cfg.Model}
+	}
+	return solveFW(g, comms, reqs, cfg)
+}
+
+// PrecomputePrioritized runs offline precomputation for prioritized
+// traffic classes (paper §3.5): class i must be protected against F_i
+// failures, enforced through cumulative demand sets d_i + X_{F_i}.
+func PrecomputePrioritized(g *graph.Graph, classes []Priority, cfg Config) (*Plan, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("core: no priority classes")
+	}
+	if cfg.Solver == SolverLP {
+		return nil, errors.New("core: prioritized precomputation requires the FW solver")
+	}
+	// Sort by descending F and build cumulative demands: d_i is the total
+	// traffic needing protection level F_i or higher.
+	sorted := append([]Priority(nil), classes...)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j].F > sorted[i].F {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	mats := make([]*traffic.Matrix, len(sorted))
+	for i := range sorted {
+		mats[i] = sorted[i].Demand
+	}
+	comms := unionCommodities(mats)
+
+	var reqs []requirement
+	cum := traffic.NewMatrix(sorted[0].Demand.N)
+	for i := 0; i < len(sorted); i++ {
+		cum = cum.Add(sorted[i].Demand)
+		// Requirement: cumulative demand from the highest classes down to
+		// i, protected against F_i failures.
+		reqs = append(reqs, requirement{
+			demands: demandVector(comms, cum),
+			model:   ArbitraryFailures{F: sorted[i].F},
+		})
+	}
+	// Reverse so reqs[0] carries the full demand (used for NormalMLU and
+	// penalty envelope rows).
+	for i, j := 0, len(reqs)-1; i < j; i, j = i+1, j-1 {
+		reqs[i], reqs[j] = reqs[j], reqs[i]
+	}
+	if cfg.Model == nil {
+		cfg.Model = ArbitraryFailures{F: sorted[0].F}
+	}
+	return solveFW(g, comms, reqs, cfg)
+}
+
+// requirement is one "demand set + failure model" pair: the plan must keep
+// every link's base load (under demands) plus worst-case virtual load
+// (under model) within MLU × capacity.
+type requirement struct {
+	demands []float64 // per commodity
+	model   FailureModel
+}
+
+// unionCommodities builds OD commodities over the union of supports.
+func unionCommodities(ds []*traffic.Matrix) []routing.Commodity {
+	n := ds[0].N
+	return routing.ODCommodities(n, func(a, b graph.NodeID) float64 {
+		var m float64
+		for _, d := range ds {
+			if v := d.At(a, b); v > m {
+				m = v
+			}
+		}
+		return m
+	})
+}
+
+func demandVector(comms []routing.Commodity, d *traffic.Matrix) []float64 {
+	v := make([]float64, len(comms))
+	for k, c := range comms {
+		v[k] = d.At(c.Src, c.Dst)
+	}
+	return v
+}
+
+// solveFW is the iterative offline solver: smoothed Frank–Wolfe over the
+// product of flow polytopes for (r, p).
+func solveFW(g *graph.Graph, comms []routing.Commodity, reqs []requirement, cfg Config) (*Plan, error) {
+	nL := g.NumLinks()
+	nK := len(comms)
+	iters := cfg.Iterations
+	if iters == 0 {
+		iters = 200
+	}
+	capac := make([]float64, nL)
+	for e := 0; e < nL; e++ {
+		capac[e] = g.Link(graph.LinkID(e)).Capacity
+	}
+
+	// ---- Initialization ----
+	optimizeBase := cfg.BaseRouting == nil
+	R := make([][]float64, nK)
+	totalDemand := reqs[0].demands
+	if optimizeBase {
+		initComms := make([]routing.Commodity, nK)
+		copy(initComms, comms)
+		for k := range initComms {
+			initComms[k].Demand = totalDemand[k]
+		}
+		initIters := 120
+		if cfg.PenaltyEnvelope >= 1 {
+			// Penalty envelope (FW): pin the base to the optimal
+			// no-failure routing — the β→1 limit of the paper's hard
+			// constraint — and optimize only p below.
+			initIters = 300
+			optimizeBase = false
+		}
+		res := mcf.MinMLU(g, initComms, mcf.Options{Iterations: initIters})
+		for k := 0; k < nK; k++ {
+			R[k] = append([]float64(nil), res.Flow.Frac[k]...)
+		}
+	} else {
+		// Match provided flow rows by OD pair.
+		type pair struct{ a, b graph.NodeID }
+		rows := make(map[pair][]float64, len(cfg.BaseRouting.Comms))
+		for k, c := range cfg.BaseRouting.Comms {
+			rows[pair{c.Src, c.Dst}] = cfg.BaseRouting.Frac[k]
+		}
+		for k, c := range comms {
+			row, ok := rows[pair{c.Src, c.Dst}]
+			if !ok {
+				return nil, fmt.Errorf("core: base routing missing OD pair %d->%d", c.Src, c.Dst)
+			}
+			R[k] = append([]float64(nil), row...)
+		}
+	}
+
+	// Protection init: shortest detour avoiding the link itself when one
+	// exists, otherwise route on the link (p_l(l)=1 means "unprotected").
+	P := make([][]float64, nL)
+	for l := 0; l < nL; l++ {
+		P[l] = make([]float64, nL)
+		lid := graph.LinkID(l)
+		link := g.Link(lid)
+		avoid := func(id graph.LinkID) bool { return id != lid }
+		path := spf.ShortestPath(g, link.Src, link.Dst, avoid, spf.WeightCost(g))
+		if path == nil {
+			P[l][l] = 1
+		} else {
+			for _, id := range path {
+				P[l][id] = 1
+			}
+		}
+	}
+
+	// Delay envelope bounds per commodity. Average path delay is linear in
+	// the routing fractions, so starting from the (trivially feasible)
+	// minimum-delay paths and only ever mixing in delay-feasible oracle
+	// paths keeps every iterate inside the envelope.
+	var delayCap []float64
+	if cfg.DelayEnvelope >= 1 {
+		delayCap = make([]float64, nK)
+		nextCache := map[graph.NodeID][]graph.LinkID{}
+		distCache := map[graph.NodeID][]float64{}
+		for k, c := range comms {
+			dist, ok := distCache[c.Dst]
+			if !ok {
+				var next []graph.LinkID
+				dist, next = spf.DijkstraToWithNext(g, c.Dst, nil, spf.DelayCost(g))
+				distCache[c.Dst] = dist
+				nextCache[c.Dst] = next
+			}
+			delayCap[k] = cfg.DelayEnvelope * dist[c.Src]
+			if optimizeBase {
+				for e := range R[k] {
+					R[k][e] = 0
+				}
+				for _, id := range spf.PathVia(g, c.Src, nextCache[c.Dst]) {
+					R[k][id] = 1
+				}
+			}
+		}
+	}
+
+	st := &fwState{
+		g: g, comms: comms, reqs: reqs, capac: capac,
+		R: R, P: P, delayCap: delayCap,
+		optimizeBase: optimizeBase,
+	}
+	st.run(iters)
+
+	// ---- Package the plan ----
+	base := routing.NewFlow(g, comms)
+	for k := 0; k < nK; k++ {
+		base.Frac[k] = st.R[k]
+		base.Comms[k].Demand = totalDemand[k]
+	}
+	base.RemoveLoops()
+	sanitizeProt(g, st.P)
+	plan := &Plan{
+		G:     g,
+		Model: reqs[highestModelIndex(reqs)].model,
+		Base:  base,
+		Prot:  st.P,
+		MLU:   st.objective(),
+	}
+	plan.NormalMLU = routing.MLU(g, base.Loads())
+	return plan, nil
+}
+
+func highestModelIndex(reqs []requirement) int {
+	best, bi := -1, 0
+	for i, r := range reqs {
+		if f := r.model.MaxFailures(); f > best {
+			best, bi = f, i
+		}
+	}
+	return bi
+}
+
+// fwState carries the Frank–Wolfe iterate.
+type fwState struct {
+	g            *graph.Graph
+	comms        []routing.Commodity
+	reqs         []requirement
+	capac        []float64
+	R            [][]float64 // [commodity][link]
+	P            [][]float64 // [protected link][link]
+	delayCap     []float64   // nil when no delay envelope
+	optimizeBase bool
+
+	// best-so-far snapshot by true objective
+	bestObj float64
+	bestR   [][]float64
+	bestP   [][]float64
+
+	// scratch
+	pcol [][]float64 // [link e][protected l]: c_l * P[l][e]
+}
+
+// baseLoads computes per-requirement per-link base loads for fractions R.
+func (s *fwState) baseLoads(R [][]float64) [][]float64 {
+	nL := s.g.NumLinks()
+	loads := make([][]float64, len(s.reqs))
+	for i := range s.reqs {
+		loads[i] = make([]float64, nL)
+		dem := s.reqs[i].demands
+		for k := range s.comms {
+			d := dem[k]
+			if d == 0 {
+				continue
+			}
+			rk := R[k]
+			li := loads[i]
+			for e, v := range rk {
+				if v != 0 {
+					li[e] += d * v
+				}
+			}
+		}
+	}
+	return loads
+}
+
+// columns builds pcol[e][l] = c_l * P[l][e].
+func (s *fwState) columns(P [][]float64, dst [][]float64) [][]float64 {
+	nL := s.g.NumLinks()
+	if dst == nil {
+		dst = make([][]float64, nL)
+		for e := range dst {
+			dst[e] = make([]float64, nL)
+		}
+	}
+	for e := 0; e < nL; e++ {
+		col := dst[e]
+		for l := range col {
+			col[l] = 0
+		}
+	}
+	for l := 0; l < nL; l++ {
+		cl := s.capac[l]
+		pl := P[l]
+		for e, v := range pl {
+			if v != 0 {
+				dst[e][l] = cl * v
+			}
+		}
+	}
+	return dst
+}
+
+// objective evaluates the true (non-smoothed) objective of the current
+// iterate: max over requirements and links of utilization.
+func (s *fwState) objective() float64 {
+	loads := s.baseLoads(s.R)
+	s.pcol = s.columns(s.P, s.pcol)
+	worst := 0.0
+	for i := range s.reqs {
+		for e := 0; e < s.g.NumLinks(); e++ {
+			u := (loads[i][e] + s.reqs[i].model.WorstLoad(s.pcol[e])) / s.capac[e]
+			if u > worst {
+				worst = u
+			}
+		}
+	}
+	return worst
+}
+
+// run executes the Frank–Wolfe loop.
+
+// run executes the offline optimization as a hybrid of global Frank–Wolfe
+// steps and block-coordinate refinement. Each epoch: (1) compute softmax
+// gradient weights of the smoothed min-max objective; (2) take one global
+// step — every commodity moves toward its oracle path with a shared step
+// size found by line search — which escapes configurations where the max
+// is supported by many commodities at once; (3) sweep every block (OD
+// commodity, then every protected link) with its own exact line search,
+// which refines solutions global FW only reaches with O(1/t) zig-zagging.
+// The best iterate by true objective is kept. effort scales the epoch
+// count.
+func (s *fwState) run(effort int) {
+	epochs := effort / 5
+	if epochs < 12 {
+		epochs = 12
+	}
+	if epochs > 120 {
+		epochs = 120
+	}
+	nL := s.g.NumLinks()
+	nI := len(s.reqs)
+
+	// Fast insertion-stats evaluation applies when every model is
+	// ArbitraryFailures (the common case, including priorities), with a
+	// second fast path for GroupFailures with K=1 (the SRLG+MLG model the
+	// US-ISP experiments use).
+	arbF := make([]int, nI)
+	allArb := true
+	grp1 := make([]GroupFailures, nI)
+	allGrp1 := true
+	for i, r := range s.reqs {
+		// insertionStats supports F <= 32; larger F (e.g. the naive
+		// all-links ablation) falls back to the generic evaluation.
+		if m, ok := r.model.(ArbitraryFailures); ok && m.F <= 32 {
+			arbF[i] = m.F
+		} else {
+			allArb = false
+		}
+		if m, ok := r.model.(GroupFailures); ok && m.K == 1 {
+			grp1[i] = m
+		} else {
+			allGrp1 = false
+		}
+	}
+
+	s.bestObj = math.Inf(1)
+
+	loads := s.baseLoads(s.R)
+	s.pcol = s.columns(s.P, s.pcol)
+	W := make([][]float64, nI)
+	for i := range W {
+		W[i] = make([]float64, nL)
+	}
+	recomputeW := func() {
+		for i := 0; i < nI; i++ {
+			for e := 0; e < nL; e++ {
+				W[i][e] = s.reqs[i].model.WorstLoad(s.pcol[e])
+			}
+		}
+	}
+	recomputeW()
+
+	rowU := func(i, e int) float64 { return (loads[i][e] + W[i][e]) / s.capac[e] }
+	trueObj := func() float64 {
+		worst := 0.0
+		for i := 0; i < nI; i++ {
+			for e := 0; e < nL; e++ {
+				if u := rowU(i, e); u > worst {
+					worst = u
+				}
+			}
+		}
+		return worst
+	}
+
+	scratchCol := make([]float64, nL)
+	xDir := make([]float64, nL)
+	sFm1 := make([][]float64, nI)
+	aF := make([][]float64, nI)
+	// Group-model stats: best group sum not containing l (sS/sM) and best
+	// sum among groups containing l with l's own entry removed (mSl/mMl),
+	// per requirement and link.
+	sS := make([][]float64, nI)
+	mSl := make([][]float64, nI)
+	sM := make([][]float64, nI)
+	mMl := make([][]float64, nI)
+	for i := range sFm1 {
+		sFm1[i] = make([]float64, nL)
+		aF[i] = make([]float64, nL)
+		sS[i] = make([]float64, nL)
+		mSl[i] = make([]float64, nL)
+		sM[i] = make([]float64, nL)
+		mMl[i] = make([]float64, nL)
+	}
+
+	obj := trueObj()
+	s.snapshotBest(obj)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		mu := math.Max(obj*0.002, obj*0.05*math.Pow(0.8, float64(epoch)))
+		if obj == 0 {
+			break
+		}
+
+		// ---- Softmax gradient weights ----
+		q := make([][]float64, nI)
+		var zsum float64
+		for i := 0; i < nI; i++ {
+			q[i] = make([]float64, nL)
+			for e := 0; e < nL; e++ {
+				q[i][e] = math.Exp((rowU(i, e) - obj) / mu)
+				zsum += q[i][e]
+			}
+		}
+		inv := 1 / zsum
+		for i := 0; i < nI; i++ {
+			for e := 0; e < nL; e++ {
+				q[i][e] *= inv
+			}
+		}
+
+		// ---- Oracle directions ----
+		var rPaths [][]graph.LinkID
+		if s.optimizeBase {
+			rPaths = s.rDirections(q)
+		}
+		pPaths := s.pDirections(q)
+
+		// ---- Global step ----
+		s.globalStep(loads, W, q, rPaths, pPaths, mu)
+		recomputeW()
+		copyLoads(loads, s.baseLoads(s.R))
+
+		// ---- r block sweep ----
+		if s.optimizeBase {
+			for k := range s.comms {
+				path := rPaths[k]
+				if path == nil {
+					continue
+				}
+				for e := range xDir {
+					xDir[e] = 0
+				}
+				for _, id := range path {
+					xDir[id] = 1
+				}
+				rk := s.R[k]
+				eval := func(gamma float64) float64 {
+					worst := 0.0
+					for i := 0; i < nI; i++ {
+						d := s.reqs[i].demands[k]
+						for e := 0; e < nL; e++ {
+							u := (loads[i][e] + gamma*d*(xDir[e]-rk[e]) + W[i][e]) / s.capac[e]
+							if u > worst {
+								worst = u
+							}
+						}
+					}
+					var z float64
+					for i := 0; i < nI; i++ {
+						d := s.reqs[i].demands[k]
+						for e := 0; e < nL; e++ {
+							u := (loads[i][e] + gamma*d*(xDir[e]-rk[e]) + W[i][e]) / s.capac[e]
+							z += math.Exp((u - worst) / mu)
+						}
+					}
+					return worst + mu*math.Log(z)
+				}
+				gamma := ternaryMin(eval, 12)
+				if gamma <= 1e-9 || eval(gamma) >= eval(0)-1e-15 {
+					continue
+				}
+				for i := 0; i < nI; i++ {
+					d := s.reqs[i].demands[k]
+					if d == 0 {
+						continue
+					}
+					for e := 0; e < nL; e++ {
+						loads[i][e] += gamma * d * (xDir[e] - rk[e])
+					}
+				}
+				for e := 0; e < nL; e++ {
+					rk[e] = (1-gamma)*rk[e] + gamma*xDir[e]
+				}
+			}
+		}
+
+		// ---- p block sweep ----
+		for l := 0; l < nL; l++ {
+			path := pPaths[l]
+			if path == nil {
+				continue
+			}
+			cl := s.capac[l]
+			for e := range xDir {
+				xDir[e] = 0
+			}
+			for _, id := range path {
+				xDir[id] = cl // direction in v-space: c_l × direction frac
+			}
+			pl := s.P[l]
+
+			var evalW func(i, e int, x float64) float64
+			switch {
+			case allArb:
+				// Insertion stats: top-(F-1) sum and F-th largest of the
+				// column with entry l excluded; then the worst virtual
+				// load as a function of x = c_l p_l(e) is
+				// sFm1 + max(x, aF).
+				for i := 0; i < nI; i++ {
+					F := arbF[i]
+					for e := 0; e < nL; e++ {
+						sFm1[i][e], aF[i][e] = insertionStats(s.pcol[e], l, F)
+					}
+				}
+				evalW = func(i, e int, x float64) float64 {
+					if x > aF[i][e] {
+						return sFm1[i][e] + x
+					}
+					return sFm1[i][e] + aF[i][e]
+				}
+			case allGrp1:
+				// With K=1, the worst case is one SRLG plus one MLG: the
+				// best group either avoids l entirely (sum precomputed) or
+				// contains l and gains x.
+				for i := 0; i < nI; i++ {
+					groupStats(grp1[i].SRLGs, s.pcol, graph.LinkID(l), sS[i], mSl[i])
+					groupStats(grp1[i].MLGs, s.pcol, graph.LinkID(l), sM[i], mMl[i])
+				}
+				evalW = func(i, e int, x float64) float64 {
+					srlg := sS[i][e]
+					if v := mSl[i][e] + x; v > srlg {
+						srlg = v
+					}
+					if srlg < 0 {
+						srlg = 0
+					}
+					mlg := sM[i][e]
+					if v := mMl[i][e] + x; v > mlg {
+						mlg = v
+					}
+					if mlg < 0 {
+						mlg = 0
+					}
+					return srlg + mlg
+				}
+			default:
+				evalW = func(i, e int, x float64) float64 {
+					copy(scratchCol, s.pcol[e])
+					scratchCol[l] = x
+					return s.reqs[i].model.WorstLoad(scratchCol)
+				}
+			}
+
+			eval := func(gamma float64) float64 {
+				worst := 0.0
+				for i := 0; i < nI; i++ {
+					for e := 0; e < nL; e++ {
+						x := (1-gamma)*s.pcol[e][l] + gamma*xDir[e]
+						u := (loads[i][e] + evalW(i, e, x)) / s.capac[e]
+						if u > worst {
+							worst = u
+						}
+					}
+				}
+				var z float64
+				for i := 0; i < nI; i++ {
+					for e := 0; e < nL; e++ {
+						x := (1-gamma)*s.pcol[e][l] + gamma*xDir[e]
+						u := (loads[i][e] + evalW(i, e, x)) / s.capac[e]
+						z += math.Exp((u - worst) / mu)
+					}
+				}
+				return worst + mu*math.Log(z)
+			}
+			gamma := ternaryMin(eval, 12)
+			if gamma <= 1e-9 || eval(gamma) >= eval(0)-1e-15 {
+				continue
+			}
+			for e := 0; e < nL; e++ {
+				nv := (1-gamma)*s.pcol[e][l] + gamma*xDir[e]
+				s.pcol[e][l] = nv
+				pl[e] = nv / cl
+			}
+			for i := 0; i < nI; i++ {
+				if allArb || allGrp1 {
+					for e := 0; e < nL; e++ {
+						W[i][e] = evalW(i, e, s.pcol[e][l])
+					}
+				} else {
+					for e := 0; e < nL; e++ {
+						W[i][e] = s.reqs[i].model.WorstLoad(s.pcol[e])
+					}
+				}
+			}
+		}
+
+		obj = trueObj()
+		if obj < s.bestObj {
+			s.snapshotBest(obj)
+		}
+	}
+	s.restoreBest()
+}
+
+// globalStep moves every commodity toward its oracle path simultaneously
+// with one shared line-searched step on the smoothed objective. It mutates
+// s.R, s.P and s.pcol (the caller refreshes loads and W).
+func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths [][]graph.LinkID, mu float64) {
+	nL := s.g.NumLinks()
+	nI := len(s.reqs)
+	_ = W
+
+	// Direction loads for r.
+	dirR := make([][]float64, len(s.comms))
+	for k := range s.comms {
+		dirR[k] = make([]float64, nL)
+		if rPaths == nil || rPaths[k] == nil {
+			copy(dirR[k], s.R[k])
+			continue
+		}
+		for _, id := range rPaths[k] {
+			dirR[k][id] = 1
+		}
+	}
+	dirLoads := s.baseLoads(dirR)
+
+	// Direction columns for p.
+	dirP := make([][]float64, nL)
+	for l := 0; l < nL; l++ {
+		dirP[l] = make([]float64, nL)
+		if pPaths[l] == nil {
+			copy(dirP[l], s.P[l])
+			continue
+		}
+		for _, id := range pPaths[l] {
+			dirP[l][id] = 1
+		}
+	}
+	pcolDir := s.columns(dirP, nil)
+
+	col := make([]float64, nL)
+	eval := func(gamma float64) float64 {
+		worst := 0.0
+		var z float64
+		// Two passes: first find the max for stability, then sum.
+		util := func(i, e int) float64 {
+			a, b := s.pcol[e], pcolDir[e]
+			for l := 0; l < nL; l++ {
+				col[l] = (1-gamma)*a[l] + gamma*b[l]
+			}
+			bl := (1-gamma)*loads[i][e] + gamma*dirLoads[i][e]
+			return (bl + s.reqs[i].model.WorstLoad(col)) / s.capac[e]
+		}
+		us := make([]float64, 0, nI*nL)
+		for i := 0; i < nI; i++ {
+			for e := 0; e < nL; e++ {
+				u := util(i, e)
+				us = append(us, u)
+				if u > worst {
+					worst = u
+				}
+			}
+		}
+		for _, u := range us {
+			z += math.Exp((u - worst) / mu)
+		}
+		return worst + mu*math.Log(z)
+	}
+	gamma := ternaryMin(eval, 14)
+	if gamma <= 1e-9 || eval(gamma) >= eval(0)-1e-15 {
+		return
+	}
+	for k := range s.comms {
+		rk, dk := s.R[k], dirR[k]
+		for e := 0; e < nL; e++ {
+			rk[e] = (1-gamma)*rk[e] + gamma*dk[e]
+		}
+	}
+	for l := 0; l < nL; l++ {
+		pl, dl := s.P[l], dirP[l]
+		for e := 0; e < nL; e++ {
+			pl[e] = (1-gamma)*pl[e] + gamma*dl[e]
+		}
+	}
+	s.pcol = s.columns(s.P, s.pcol)
+}
+
+// pDirections computes the oracle path per protected link from the active
+// sets of the current iterate: a link e costs q weight only where l's
+// virtual demand is part of the worst case at e.
+func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
+	nL := s.g.NumLinks()
+	nI := len(s.reqs)
+	costP := make([][]float64, nL)
+	for l := range costP {
+		costP[l] = make([]float64, nL)
+	}
+	y := make([]float64, nL)
+	for i := 0; i < nI; i++ {
+		for e := 0; e < nL; e++ {
+			if q[i][e] == 0 {
+				continue
+			}
+			s.reqs[i].model.ActiveSet(s.pcol[e], y)
+			w := q[i][e] / s.capac[e]
+			for l := 0; l < nL; l++ {
+				if y[l] > 0 {
+					costP[l][e] += w * y[l]
+				}
+			}
+		}
+	}
+	paths := make([][]graph.LinkID, nL)
+	for l := 0; l < nL; l++ {
+		link := s.g.Link(graph.LinkID(l))
+		costFn := func(id graph.LinkID) float64 { return costP[l][id] + 1e-12 }
+		_, next := spf.DijkstraToWithNext(s.g, link.Dst, nil, costFn)
+		paths[l] = spf.PathVia(s.g, link.Src, next)
+	}
+	return paths
+}
+
+func copyLoads(dst, src [][]float64) {
+	for i := range dst {
+		copy(dst[i], src[i])
+	}
+}
+
+// ternaryMin minimizes a convex function on [0,1] by ternary search.
+func ternaryMin(f func(float64) float64, iters int) float64 {
+	lo, hi := 0.0, 1.0
+	for t := 0; t < iters; t++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// rDirections computes the oracle path per OD commodity under the current
+// gradient weights, honoring the delay envelope. With one requirement the
+// cost is shared and grouped by destination; with several the costs are
+// demand-weighted per commodity.
+func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
+	nL := s.g.NumLinks()
+	paths := make([][]graph.LinkID, len(s.comms))
+	if len(s.reqs) == 1 {
+		cost := make([]float64, nL)
+		for e := 0; e < nL; e++ {
+			cost[e] = q[0][e]/s.capac[e] + 1e-12
+		}
+		costFn := func(id graph.LinkID) float64 { return cost[id] }
+		groups := map[graph.NodeID][]int{}
+		for k := range s.comms {
+			groups[s.comms[k].Dst] = append(groups[s.comms[k].Dst], k)
+		}
+		for dst, ks := range groups {
+			_, next := spf.DijkstraToWithNext(s.g, dst, nil, costFn)
+			for _, k := range ks {
+				paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
+			}
+		}
+		return paths
+	}
+	for k := range s.comms {
+		cost := make([]float64, nL)
+		for e := 0; e < nL; e++ {
+			var w float64
+			for i := range s.reqs {
+				if d := s.reqs[i].demands[k]; d > 0 {
+					w += q[i][e] * d
+				}
+			}
+			cost[e] = w/s.capac[e] + 1e-12
+		}
+		costFn := func(id graph.LinkID) float64 { return cost[id] }
+		_, next := spf.DijkstraToWithNext(s.g, s.comms[k].Dst, nil, costFn)
+		paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
+	}
+	return paths
+}
+
+// checkedPath applies the delay envelope to an oracle path, substituting a
+// delay-bounded path when the unconstrained one is too slow.
+func (s *fwState) checkedPath(k int, path []graph.LinkID, costFn spf.Cost) []graph.LinkID {
+	if path == nil {
+		return nil
+	}
+	if s.delayCap != nil && pathDelay(s.g, path) > s.delayCap[k]+1e-9 {
+		return s.delayBoundedPath(s.comms[k].Src, s.comms[k].Dst, costFn, s.delayCap[k])
+	}
+	return path
+}
+
+// snapshotBest records the current iterate as the best seen.
+func (s *fwState) snapshotBest(obj float64) {
+	s.bestObj = obj
+	if s.bestR == nil {
+		s.bestR = make([][]float64, len(s.R))
+		for k := range s.R {
+			s.bestR[k] = make([]float64, len(s.R[k]))
+		}
+		s.bestP = make([][]float64, len(s.P))
+		for l := range s.P {
+			s.bestP[l] = make([]float64, len(s.P[l]))
+		}
+	}
+	for k := range s.R {
+		copy(s.bestR[k], s.R[k])
+	}
+	for l := range s.P {
+		copy(s.bestP[l], s.P[l])
+	}
+}
+
+// restoreBest rolls the iterate back to the best recorded snapshot.
+func (s *fwState) restoreBest() {
+	if s.bestR == nil {
+		return
+	}
+	for k := range s.R {
+		copy(s.R[k], s.bestR[k])
+	}
+	for l := range s.P {
+		copy(s.P[l], s.bestP[l])
+	}
+}
+func pathDelay(g *graph.Graph, path []graph.LinkID) float64 {
+	var d float64
+	for _, id := range path {
+		d += g.Link(id).Delay
+	}
+	return d
+}
+
+// delayBoundedPath finds a low-cost path whose propagation delay does not
+// exceed bound, via Lagrangian bisection on cost + θ·delay. Falls back to
+// the minimum-delay path.
+func (s *fwState) delayBoundedPath(src, dst graph.NodeID, costFn spf.Cost, bound float64) []graph.LinkID {
+	delay := spf.DelayCost(s.g)
+	minDelayPath := spf.ShortestPath(s.g, src, dst, nil, delay)
+	if minDelayPath == nil || pathDelay(s.g, minDelayPath) > bound+1e-9 {
+		return minDelayPath
+	}
+	best := minDelayPath
+	lo, hi := 0.0, 1.0
+	// Grow hi until the combined path is delay-feasible.
+	for t := 0; t < 12; t++ {
+		theta := (lo + hi) / 2
+		combined := func(id graph.LinkID) float64 { return costFn(id) + theta*delay(id) }
+		p := spf.ShortestPath(s.g, src, dst, nil, combined)
+		if p == nil {
+			break
+		}
+		if pathDelay(s.g, p) <= bound+1e-9 {
+			best = p
+			hi = theta
+		} else {
+			lo = theta
+			if t == 0 {
+				hi = hi * 2
+			}
+		}
+	}
+	return best
+}
+
+// groupStats fills, for every link e, best[e] = the largest positive
+// group sum over columns pcol[e] treating index skip as absent among
+// groups NOT containing skip (0 when none), and withSkip[e] = the largest
+// sum among groups containing skip with skip's own entry removed
+// (negative infinity when no group contains skip).
+func groupStats(groups [][]graph.LinkID, pcol [][]float64, skip graph.LinkID, best, withSkip []float64) {
+	negInf := math.Inf(-1)
+	for e := range best {
+		best[e] = 0
+		withSkip[e] = negInf
+	}
+	for _, grp := range groups {
+		contains := false
+		for _, l := range grp {
+			if l == skip {
+				contains = true
+				break
+			}
+		}
+		for e := range best {
+			col := pcol[e]
+			var sum float64
+			for _, l := range grp {
+				if l == skip || int(l) >= len(col) {
+					continue
+				}
+				if v := col[l]; v > 0 {
+					sum += v
+				}
+			}
+			if contains {
+				if sum > withSkip[e] {
+					withSkip[e] = sum
+				}
+			} else if sum > best[e] {
+				best[e] = sum
+			}
+		}
+	}
+}
+
+// sanitizeProt removes solver-noise allocations from the protection
+// routing: each p_l is decomposed into paths, paths below a small
+// fraction are dropped, and the remainder is renormalized. Iterative
+// solutions accumulate many near-zero fractions; left in place they make
+// the online rescaling ξ = p_e/(1-p_e(e)) amplify noise unboundedly when
+// p_e(e) approaches 1 under cascaded failures. Dropping sub-threshold
+// paths keeps p a valid routing ([R1]-[R4] are preserved by convex
+// combinations of paths) while bounding the noise.
+func sanitizeProt(g *graph.Graph, P [][]float64) {
+	const (
+		keepCoverage = 0.995 // retain paths until this much mass is kept
+		alwaysKeep   = 0.005 // paths at least this large are never dropped
+	)
+	nL := g.NumLinks()
+	f := routing.NewFlow(g, routing.LinkCommodities(g))
+	for l := 0; l < nL; l++ {
+		copy(f.Frac[l], P[l])
+	}
+	f.RemoveLoops()
+	for l := 0; l < nL; l++ {
+		paths := f.Decompose(l, 256)
+		sort.Slice(paths, func(i, j int) bool { return paths[i].Frac > paths[j].Frac })
+		var grand float64
+		for _, p := range paths {
+			grand += p.Frac
+		}
+		if grand <= 0 {
+			continue
+		}
+		var kept []routing.Path
+		var total float64
+		for _, p := range paths {
+			if total >= keepCoverage*grand && p.Frac < alwaysKeep {
+				break
+			}
+			kept = append(kept, p)
+			total += p.Frac
+		}
+		row := P[l]
+		for e := range row {
+			row[e] = 0
+		}
+		for _, p := range kept {
+			w := p.Frac / total
+			for _, id := range p.Links {
+				row[id] += w
+			}
+		}
+	}
+
+	// A min-max optimum may leave a link effectively unprotected
+	// (p_l(l) ≈ 1) when protecting it cannot improve the bottleneck —
+	// rational for the objective, but online reconfiguration would then
+	// drop the link's real traffic. Force a functional detour wherever
+	// one exists: move the self-allocated mass onto the shortest path
+	// around the link. This can only raise the reported worst-case MLU
+	// (recomputed by the caller), never break validity ([R2] mass is
+	// conserved, the detour satisfies [R1]/[R3]).
+	for l := 0; l < nL; l++ {
+		lid := graph.LinkID(l)
+		self := P[l][l]
+		if self < 0.999 {
+			continue
+		}
+		link := g.Link(lid)
+		avoid := func(id graph.LinkID) bool { return id != lid }
+		path := spf.ShortestPath(g, link.Src, link.Dst, avoid, spf.WeightCost(g))
+		if path == nil {
+			continue // a true bridge: nothing can protect it
+		}
+		P[l][l] = 0
+		for _, id := range path {
+			P[l][id] += self
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/mcf"
+	"repro/internal/routing"
+	"repro/internal/spf"
+	"repro/internal/traffic"
+)
+
+// precomputeLP builds the paper's LP (7) — with dual multipliers π_e(l)
+// and λ_e replacing the inner maximization over X_F — and solves it
+// exactly. Only the ArbitraryFailures model is supported (the structured
+// model (18) is handled by the FW solver).
+func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) {
+	model, ok := cfg.Model.(ArbitraryFailures)
+	if !ok {
+		return nil, errors.New("core: LP solver supports only ArbitraryFailures")
+	}
+	F := float64(model.F)
+	nL := g.NumLinks()
+	comms := routing.ODCommodities(g.NumNodes(), d.At)
+
+	prob := lp.NewProblem()
+	mluVar := prob.AddVariable("MLU", 1)
+
+	// r variables (skipped when the base routing is fixed). rVar[k][e] =
+	// -1 for links entering the commodity source ([R3] by construction).
+	optimizeBase := cfg.BaseRouting == nil
+	var rVar [][]int
+	if optimizeBase {
+		rVar = make([][]int, len(comms))
+		for k, c := range comms {
+			rVar[k] = make([]int, nL)
+			for e := 0; e < nL; e++ {
+				if g.Link(graph.LinkID(e)).Dst == c.Src {
+					rVar[k][e] = -1
+					continue
+				}
+				rVar[k][e] = prob.AddVariable(fmt.Sprintf("r%d_%d", k, e), 0)
+			}
+			addRoutingConstraints(prob, g, c.Src, c.Dst, rVar[k])
+		}
+	}
+
+	// p variables: pVar[l][e], with [R3] excluding links into head(l).
+	pVar := make([][]int, nL)
+	for l := 0; l < nL; l++ {
+		pVar[l] = make([]int, nL)
+		head := g.Link(graph.LinkID(l)).Src
+		tail := g.Link(graph.LinkID(l)).Dst
+		for e := 0; e < nL; e++ {
+			if g.Link(graph.LinkID(e)).Dst == head {
+				pVar[l][e] = -1
+				continue
+			}
+			pVar[l][e] = prob.AddVariable(fmt.Sprintf("p%d_%d", l, e), 0)
+		}
+		addRoutingConstraints(prob, g, head, tail, pVar[l])
+	}
+
+	// Dual multipliers π_e(l) and λ_e.
+	piVar := make([][]int, nL)
+	lamVar := make([]int, nL)
+	for e := 0; e < nL; e++ {
+		piVar[e] = make([]int, nL)
+		for l := 0; l < nL; l++ {
+			piVar[e][l] = prob.AddVariable(fmt.Sprintf("pi%d_%d", e, l), 0)
+		}
+		lamVar[e] = prob.AddVariable(fmt.Sprintf("lam%d", e), 0)
+	}
+
+	// Fixed base loads when r is given.
+	var fixedLoads []float64
+	if !optimizeBase {
+		fl := cfg.BaseRouting.Clone()
+		fl.SetDemands(d.At)
+		fixedLoads = fl.Loads()
+	}
+
+	// Capacity rows: sum_ab d_ab r_ab(e) + sum_l π_e(l) + λ_e F <= MLU c_e.
+	for e := 0; e < nL; e++ {
+		ce := g.Link(graph.LinkID(e)).Capacity
+		terms := []lp.Term{{Var: mluVar, Coef: -ce}}
+		rhs := 0.0
+		if optimizeBase {
+			for k, c := range comms {
+				if v := rVar[k][e]; v >= 0 && c.Demand > 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: c.Demand})
+				}
+			}
+		} else {
+			rhs = -fixedLoads[e]
+		}
+		for l := 0; l < nL; l++ {
+			terms = append(terms, lp.Term{Var: piVar[e][l], Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: lamVar[e], Coef: F})
+		prob.AddConstraint(terms, lp.LE, rhs)
+	}
+
+	// Dual feasibility rows: c_l p_l(e) - π_e(l) - λ_e <= 0, i.e. the
+	// paper's (π_e(l)+λ_e)/c_l >= p_l(e).
+	for e := 0; e < nL; e++ {
+		for l := 0; l < nL; l++ {
+			if pVar[l][e] < 0 {
+				continue
+			}
+			cl := g.Link(graph.LinkID(l)).Capacity
+			prob.AddConstraint([]lp.Term{
+				{Var: pVar[l][e], Coef: cl},
+				{Var: piVar[e][l], Coef: -1},
+				{Var: lamVar[e], Coef: -1},
+			}, lp.LE, 0)
+		}
+	}
+
+	// Penalty envelope rows: normal-case load <= β × MLUopt × c_e.
+	if cfg.PenaltyEnvelope >= 1 && optimizeBase {
+		opt, err := mcf.MinMLUExact(g, comms, mcf.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: envelope baseline: %v", err)
+		}
+		for e := 0; e < nL; e++ {
+			bound := cfg.PenaltyEnvelope * opt.MLU * g.Link(graph.LinkID(e)).Capacity
+			var terms []lp.Term
+			for k, c := range comms {
+				if v := rVar[k][e]; v >= 0 && c.Demand > 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: c.Demand})
+				}
+			}
+			if terms != nil {
+				prob.AddConstraint(terms, lp.LE, bound)
+			}
+		}
+	}
+
+	// Delay envelope rows: sum_e PD_e r_ab(e) <= γ × PD*_ab.
+	if cfg.DelayEnvelope >= 1 && optimizeBase {
+		for k, c := range comms {
+			dist := spf.DijkstraTo(g, c.Dst, nil, spf.DelayCost(g))
+			bound := cfg.DelayEnvelope * dist[c.Src]
+			var terms []lp.Term
+			for e := 0; e < nL; e++ {
+				if v := rVar[k][e]; v >= 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: g.Link(graph.LinkID(e)).Delay})
+				}
+			}
+			prob.AddConstraint(terms, lp.LE, bound)
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: LP status %v", sol.Status)
+	}
+
+	base := routing.NewFlow(g, comms)
+	if optimizeBase {
+		for k := range comms {
+			for e := 0; e < nL; e++ {
+				if v := rVar[k][e]; v >= 0 {
+					base.Frac[k][e] = sol.X[v]
+				}
+			}
+		}
+	} else {
+		fl := cfg.BaseRouting.Clone()
+		fl.SetDemands(d.At)
+		base = fl
+	}
+	base.RemoveLoops()
+
+	prot := make([][]float64, nL)
+	for l := 0; l < nL; l++ {
+		prot[l] = make([]float64, nL)
+		for e := 0; e < nL; e++ {
+			if v := pVar[l][e]; v >= 0 {
+				prot[l][e] = sol.X[v]
+			}
+		}
+	}
+
+	plan := &Plan{
+		G:     g,
+		Model: model,
+		Base:  base,
+		Prot:  prot,
+		MLU:   sol.X[mluVar],
+	}
+	plan.NormalMLU = routing.MLU(g, base.Loads())
+	return plan, nil
+}
+
+// addRoutingConstraints adds [R1] and [R2] for one commodity whose
+// variable indices are vars (with -1 marking excluded links).
+func addRoutingConstraints(prob *lp.Problem, g *graph.Graph, src, dst graph.NodeID, vars []int) {
+	// [R2]: unit emission from the source.
+	var out []lp.Term
+	for _, id := range g.Out(src) {
+		if v := vars[id]; v >= 0 {
+			out = append(out, lp.Term{Var: v, Coef: 1})
+		}
+	}
+	prob.AddConstraint(out, lp.EQ, 1)
+	// [R1]: conservation at intermediate nodes.
+	for n := 0; n < g.NumNodes(); n++ {
+		node := graph.NodeID(n)
+		if node == src || node == dst {
+			continue
+		}
+		var terms []lp.Term
+		for _, id := range g.In(node) {
+			if v := vars[id]; v >= 0 {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+		}
+		for _, id := range g.Out(node) {
+			if v := vars[id]; v >= 0 {
+				terms = append(terms, lp.Term{Var: v, Coef: -1})
+			}
+		}
+		if terms != nil {
+			prob.AddConstraint(terms, lp.EQ, 0)
+		}
+	}
+}

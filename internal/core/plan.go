@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Plan is the output of offline precomputation: the base routing r, the
+// protection routing p, and the achieved objective over d + X_F.
+type Plan struct {
+	G *graph.Graph
+	// Model is the failure model the plan protects against.
+	Model FailureModel
+	// Base is the base routing r with commodity demands set from d.
+	Base *routing.Flow
+	// Prot is the protection routing p: Prot[l][e] is the fraction of
+	// link l's rerouted traffic carried by link e.
+	Prot [][]float64
+	// MLU is the objective value: the maximum link utilization over the
+	// entire demand set d + X_F. MLU <= 1 certifies congestion-freedom
+	// under every covered failure scenario (Theorem 1).
+	MLU float64
+	// NormalMLU is the utilization of the base routing under d alone (no
+	// failures).
+	NormalMLU float64
+}
+
+// CongestionFree reports whether the plan carries Theorem 1's guarantee:
+// every failure scenario covered by the model reroutes without overload.
+func (p *Plan) CongestionFree() bool { return p.MLU <= 1+1e-9 }
+
+// VirtualLoad returns the worst-case virtual (rerouted) load on link e
+// under the plan's failure model.
+func (p *Plan) VirtualLoad(e graph.LinkID) float64 {
+	nL := p.G.NumLinks()
+	v := make([]float64, nL)
+	for l := 0; l < nL; l++ {
+		v[l] = p.G.Link(graph.LinkID(l)).Capacity * p.Prot[l][e]
+	}
+	return p.Model.WorstLoad(v)
+}
+
+// Evaluate recomputes the plan objective from scratch: for every link,
+// base load plus worst-case virtual load over capacity. It is the
+// verification counterpart of the offline solvers.
+func (p *Plan) Evaluate() float64 {
+	baseLoads := p.Base.Loads()
+	worst := 0.0
+	for e := 0; e < p.G.NumLinks(); e++ {
+		u := (baseLoads[e] + p.VirtualLoad(graph.LinkID(e))) / p.G.Link(graph.LinkID(e)).Capacity
+		if u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// State is the online view of a router network running R3: the current
+// (reconfigured) base and protection routings plus the set of failed
+// links. Fail applies the paper's online reconfiguration — the rescaling
+// of equation (8) and the updates (9), (10) — exactly.
+type State struct {
+	G      *graph.Graph
+	base   *routing.Flow
+	prot   [][]float64
+	failed graph.LinkSet
+	// detours remembers ξ_e for every failed link (diagnostics and the
+	// MPLS-ff data plane read these).
+	detours map[graph.LinkID][]float64
+}
+
+// NewState copies a plan into a mutable online state.
+func NewState(plan *Plan) *State {
+	prot := make([][]float64, len(plan.Prot))
+	for i := range prot {
+		prot[i] = append([]float64(nil), plan.Prot[i]...)
+	}
+	return &State{
+		G:       plan.G,
+		base:    plan.Base.Clone(),
+		prot:    prot,
+		detours: make(map[graph.LinkID][]float64),
+	}
+}
+
+// Failed returns the set of failed links applied so far.
+func (s *State) Failed() graph.LinkSet { return s.failed.Clone() }
+
+// Base returns the current (reconfigured) base routing. The caller must
+// not modify it.
+func (s *State) Base() *routing.Flow { return s.base }
+
+// Prot returns the current (reconfigured) protection routing. The caller
+// must not modify it.
+func (s *State) Prot() [][]float64 { return s.prot }
+
+// Detour returns ξ_e for a failed link e (nil if e has not failed).
+func (s *State) Detour(e graph.LinkID) []float64 { return s.detours[e] }
+
+// Fail applies the failure of link e: computes the detour ξ_e by
+// rescaling p_e (equation (8)), then updates every base commodity
+// (equation (9)) and every remaining protection commodity (equation (10))
+// so that no demand traverses e. Failing an already-failed link is an
+// error.
+func (s *State) Fail(e graph.LinkID) error {
+	if s.failed.Contains(e) {
+		return fmt.Errorf("core: link %d already failed", e)
+	}
+	nL := s.G.NumLinks()
+	pe := s.prot[e]
+	pee := pe[e]
+
+	xi := make([]float64, nL)
+	// Below this remaining-fraction threshold the detour consists of
+	// solver noise and rescaling would amplify loads unboundedly; treat
+	// the link as unprotectable (the paper's pe(e)=1 case).
+	const minDetourMass = 1e-3
+	if pee < 1-minDetourMass {
+		inv := 1 / (1 - pee)
+		for l := 0; l < nL; l++ {
+			if l == int(e) {
+				continue
+			}
+			if pe[l] != 0 {
+				xi[l] = pe[l] * inv
+			}
+		}
+	}
+	// else: pe(e) = 1 — the link carries no other demand (under the
+	// Theorem 1 condition) and ξ_e stays zero: any demand still on e is
+	// dropped, which is exactly the paper's treatment of partitions.
+
+	// (9): r'_ab(l) = r_ab(l) + r_ab(e)·ξ_e(l).
+	for k := range s.base.Frac {
+		fr := s.base.Frac[k]
+		fe := fr[e]
+		if fe == 0 {
+			continue
+		}
+		for l := 0; l < nL; l++ {
+			if xi[l] != 0 {
+				fr[l] += fe * xi[l]
+			}
+		}
+		fr[e] = 0
+	}
+	// (10): p'_uv(l) = p_uv(l) + p_uv(e)·ξ_e(l) for surviving links uv.
+	for u := 0; u < nL; u++ {
+		if u == int(e) || s.failed.Contains(graph.LinkID(u)) {
+			continue
+		}
+		pu := s.prot[u]
+		pue := pu[e]
+		if pue == 0 {
+			continue
+		}
+		for l := 0; l < nL; l++ {
+			if xi[l] != 0 {
+				pu[l] += pue * xi[l]
+			}
+		}
+		pu[e] = 0
+	}
+
+	s.failed.Add(e)
+	s.detours[e] = xi
+	return nil
+}
+
+// FailAll applies a set of failures in the given order. Theorem 3
+// guarantees the final state is order independent as long as no failure
+// strands demand (p_e(e) = 1 never occurs mid-sequence); once a partition
+// drops traffic, which demands were dropped — and therefore the exact
+// final allocations — depends on the detection order.
+func (s *State) FailAll(links ...graph.LinkID) error {
+	for _, e := range links {
+		if err := s.Fail(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Loads returns the per-link load of the current base routing (demands ×
+// reconfigured fractions). Failed links always carry zero load.
+func (s *State) Loads() []float64 {
+	return s.base.Loads()
+}
+
+// MLU returns the maximum utilization over surviving links.
+func (s *State) MLU() float64 {
+	loads := s.Loads()
+	worst := 0.0
+	for e, l := range loads {
+		if s.failed.Contains(graph.LinkID(e)) {
+			continue
+		}
+		if u := l / s.G.Link(graph.LinkID(e)).Capacity; u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// Delivered returns the fraction of commodity k's demand that still
+// reaches its destination (1 unless reconfiguration dropped traffic at a
+// partition), measured as net inflow at the destination.
+func (s *State) Delivered(k int) float64 {
+	c := s.base.Comms[k]
+	var in, out float64
+	for _, id := range s.G.In(c.Dst) {
+		in += s.base.Frac[k][id]
+	}
+	for _, id := range s.G.Out(c.Dst) {
+		out += s.base.Frac[k][id]
+	}
+	d := in - out
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// SetDemands overwrites the demands of the state's base commodities, so a
+// precomputed plan can be evaluated against a different traffic matrix
+// (e.g. another interval of a diurnal series).
+func (s *State) SetDemands(demand func(a, b graph.NodeID) float64) {
+	s.base.SetDemands(demand)
+}
+
+// LostDemand returns the total demand dropped because reconfiguration hit
+// a partition (sum over commodities of demand × undelivered fraction).
+func (s *State) LostDemand() float64 {
+	var lost float64
+	for k := range s.base.Comms {
+		d := s.base.Comms[k].Demand
+		if d == 0 {
+			continue
+		}
+		lost += d * (1 - s.Delivered(k))
+	}
+	return lost
+}
+
+// ProtEquals reports whether another state has the same protection
+// routing within eps for every surviving link (used by order-independence
+// tests). Rows of failed links are snapshots from the moment they failed
+// and legitimately depend on the failure order, so they are not compared.
+func (s *State) ProtEquals(o *State, eps float64) bool {
+	if len(s.prot) != len(o.prot) || !s.failed.Equal(o.failed) {
+		return false
+	}
+	for u := range s.prot {
+		if s.failed.Contains(graph.LinkID(u)) {
+			continue
+		}
+		for l := range s.prot[u] {
+			if math.Abs(s.prot[u][l]-o.prot[u][l]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BaseEquals reports whether another state has the same base routing
+// within eps.
+func (s *State) BaseEquals(o *State, eps float64) bool {
+	if len(s.base.Frac) != len(o.base.Frac) {
+		return false
+	}
+	for k := range s.base.Frac {
+		for l := range s.base.Frac[k] {
+			if math.Abs(s.base.Frac[k][l]-o.base.Frac[k][l]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

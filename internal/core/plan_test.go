@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// paperExample builds the §3.3 network: routers i, j with 4 parallel links
+// of capacities 10, 20, 30, 40 (so the optimal protection splits
+// 0.1/0.2/0.3/0.4).
+func paperExample(t *testing.T) (*graph.Graph, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	g := graph.New("par4")
+	i := g.AddNode("i")
+	j := g.AddNode("j")
+	g.AddLink(i, j, 10, 1, 1) // e1 = 0
+	g.AddLink(i, j, 20, 1, 1) // e2 = 1
+	g.AddLink(i, j, 30, 1, 1) // e3 = 2
+	g.AddLink(i, j, 40, 1, 1) // e4 = 3
+	return g, i, j
+}
+
+// examplePlan returns a Plan whose protection routing matches the §3.3
+// example: p_l = (0.1, 0.2, 0.3, 0.4) for every l.
+func examplePlan(t *testing.T) *Plan {
+	t.Helper()
+	g, i, j := paperExample(t)
+	base := routing.NewFlow(g, []routing.Commodity{{Src: i, Dst: j, Demand: 0, Link: -1}})
+	base.Frac[0][3] = 1
+	prot := make([][]float64, 4)
+	for l := range prot {
+		prot[l] = []float64{0.1, 0.2, 0.3, 0.4}
+	}
+	return &Plan{G: g, Model: ArbitraryFailures{F: 1}, Base: base, Prot: prot}
+}
+
+func TestPaperExampleRescaling(t *testing.T) {
+	// Paper §3.3: after e1 fails, ξ_e1 = (0, 2/9, 3/9, 4/9).
+	st := NewState(examplePlan(t))
+	if err := st.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	xi := st.Detour(0)
+	want := []float64{0, 2.0 / 9, 3.0 / 9, 4.0 / 9}
+	for e := range want {
+		if math.Abs(xi[e]-want[e]) > 1e-12 {
+			t.Fatalf("xi[%d] = %v, want %v", e, xi[e], want[e])
+		}
+	}
+	// And p'_e2 = (0, 0.2 + 0.1·2/9, 0.3 + 0.1·3/9, 0.4 + 0.1·4/9).
+	p2 := st.Prot()[1]
+	wantP := []float64{0, 0.2 + 0.1*2.0/9, 0.3 + 0.1*3.0/9, 0.4 + 0.1*4.0/9}
+	for e := range wantP {
+		if math.Abs(p2[e]-wantP[e]) > 1e-12 {
+			t.Fatalf("p'_e2[%d] = %v, want %v", e, p2[e], wantP[e])
+		}
+	}
+	// The reconfigured protection still sums to 1 (valid routing).
+	var sum float64
+	for _, v := range p2 {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("p'_e2 sums to %v", sum)
+	}
+}
+
+func TestBaseReroutedOnFailure(t *testing.T) {
+	st := NewState(examplePlan(t))
+	// Base routes on e4 (index 3). Fail it: traffic must move to the
+	// detour ξ_e4 over e1..e3 proportional to 0.1/0.2/0.3 rescaled by 0.6.
+	if err := st.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	fr := st.Base().Frac[0]
+	want := []float64{0.1 / 0.6, 0.2 / 0.6, 0.3 / 0.6, 0}
+	for e := range want {
+		if math.Abs(fr[e]-want[e]) > 1e-12 {
+			t.Fatalf("r'[%d] = %v, want %v", e, fr[e], want[e])
+		}
+	}
+	if d := st.Delivered(0); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Delivered = %v, want 1", d)
+	}
+}
+
+func TestFailTwicePanics(t *testing.T) {
+	st := NewState(examplePlan(t))
+	if err := st.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Fail(0); err == nil {
+		t.Fatalf("double failure accepted")
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// Theorem 3: any permutation of the failure sequence yields the same
+	// final routing.
+	plan := examplePlan(t)
+	perms := [][]graph.LinkID{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	ref := NewState(plan)
+	if err := ref.FailAll(perms[0]...); err != nil {
+		t.Fatal(err)
+	}
+	for _, perm := range perms[1:] {
+		st := NewState(plan)
+		if err := st.FailAll(perm...); err != nil {
+			t.Fatal(err)
+		}
+		if !st.ProtEquals(ref, 1e-9) {
+			t.Fatalf("protection differs for order %v", perm)
+		}
+		if !st.BaseEquals(ref, 1e-9) {
+			t.Fatalf("base differs for order %v", perm)
+		}
+	}
+}
+
+func TestPartitionDropsTraffic(t *testing.T) {
+	// Two parallel links, fail both: demand is dropped, not misrouted.
+	g := graph.New("par2")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddLink(a, b, 10, 1, 1)
+	g.AddLink(a, b, 10, 1, 1)
+	base := routing.NewFlow(g, []routing.Commodity{{Src: a, Dst: b, Demand: 5, Link: -1}})
+	base.Frac[0][0] = 1
+	prot := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	plan := &Plan{G: g, Model: ArbitraryFailures{F: 1}, Base: base, Prot: prot}
+	st := NewState(plan)
+	if err := st.FailAll(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := st.Delivered(0); d != 0 {
+		t.Fatalf("Delivered = %v, want 0 after partition", d)
+	}
+	loads := st.Loads()
+	for e, l := range loads {
+		if l != 0 {
+			t.Fatalf("load on link %d = %v after partition", e, l)
+		}
+	}
+	if st.MLU() != 0 {
+		t.Fatalf("MLU = %v", st.MLU())
+	}
+}
+
+func TestVirtualLoadAndEvaluate(t *testing.T) {
+	plan := examplePlan(t)
+	// v_e for link 0: c_l * p_l(0) = (1,2,3,4); worst single = 4.
+	if got := plan.VirtualLoad(0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("VirtualLoad(0) = %v, want 4", got)
+	}
+	// Evaluate: worst over links of virtual/capacity: link0: 4/10 = 0.4,
+	// link3: 16/40 = 0.4 (base demand is 0).
+	if got := plan.Evaluate(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("Evaluate = %v, want 0.4", got)
+	}
+	plan.MLU = 0.4
+	if !plan.CongestionFree() {
+		t.Fatalf("plan with MLU 0.4 not congestion free")
+	}
+	plan.MLU = 1.2
+	if plan.CongestionFree() {
+		t.Fatalf("plan with MLU 1.2 reported congestion free")
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	st := NewState(examplePlan(t))
+	if !st.Failed().Empty() {
+		t.Fatalf("fresh state has failures")
+	}
+	if st.Detour(0) != nil {
+		t.Fatalf("detour before failure")
+	}
+	if err := st.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Failed().Contains(1) {
+		t.Fatalf("Failed() missing link 1")
+	}
+}

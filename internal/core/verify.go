@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// VerifyReport is the result of empirically checking a plan's guarantee
+// by enumerating failure scenarios and replaying online reconfiguration.
+type VerifyReport struct {
+	// Scenarios is the number of failure sets checked.
+	Scenarios int
+	// WorstMLU is the highest post-reconfiguration utilization observed.
+	WorstMLU float64
+	// WorstScenario is the failure set achieving WorstMLU.
+	WorstScenario graph.LinkSet
+	// Partitions counts scenarios that stranded demand.
+	Partitions int
+	// Violations counts scenarios exceeding the plan's MLU bound (only
+	// meaningful when the certificate holds; Theorem 1 promises zero).
+	Violations int
+}
+
+// Verify enumerates every failure set of up to maxFail links (capped at
+// maxScenarios; 0 means no cap) and replays online reconfiguration,
+// reporting the worst observed utilization. It is the brute-force audit
+// of Theorem 1: for a plan with MLU <= 1 the report must show zero
+// violations.
+func (p *Plan) Verify(maxFail, maxScenarios int) (*VerifyReport, error) {
+	if maxFail < 1 {
+		return nil, fmt.Errorf("core: maxFail %d < 1", maxFail)
+	}
+	rep := &VerifyReport{}
+	nL := p.G.NumLinks()
+	bound := p.MLU + 1e-6
+	var rec func(start int, chosen []graph.LinkID) error
+	rec = func(start int, chosen []graph.LinkID) error {
+		if len(chosen) > 0 {
+			if maxScenarios > 0 && rep.Scenarios >= maxScenarios {
+				return nil
+			}
+			rep.Scenarios++
+			st := NewState(p)
+			if err := st.FailAll(chosen...); err != nil {
+				return err
+			}
+			if st.LostDemand() > 1e-9 {
+				rep.Partitions++
+			}
+			mlu := st.MLU()
+			if mlu > rep.WorstMLU {
+				rep.WorstMLU = mlu
+				rep.WorstScenario = graph.NewLinkSet(chosen...)
+			}
+			if mlu > bound {
+				rep.Violations++
+			}
+		}
+		if len(chosen) == maxFail {
+			return nil
+		}
+		for e := start; e < nL; e++ {
+			if maxScenarios > 0 && rep.Scenarios >= maxScenarios {
+				return nil
+			}
+			if err := rec(e+1, append(chosen, graph.LinkID(e))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, nil); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

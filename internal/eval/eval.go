@@ -1,0 +1,304 @@
+// Package eval drives the paper's evaluation: failure-scenario
+// enumeration and sampling, the R3 plan wrapped as a protection scheme,
+// and the engine computing bottleneck traffic intensity and performance
+// ratio (bottleneck ÷ optimal flow-based routing's bottleneck) per
+// scenario — the two metrics every figure in §5 is built from.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protect"
+	"repro/internal/traffic"
+)
+
+// R3Scheme adapts a precomputed R3 plan to the protect.Scheme interface:
+// for each failure scenario it replays online reconfiguration from the
+// plan and reports the resulting loads.
+type R3Scheme struct {
+	// Label names the scheme in output (e.g. "MPLS-ff+R3", "OSPF+R3").
+	Label string
+	Plan  *core.Plan
+}
+
+// Name implements protect.Scheme.
+func (s *R3Scheme) Name() string { return s.Label }
+
+// Loads implements protect.Scheme.
+func (s *R3Scheme) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, float64) {
+	st := core.NewState(s.Plan)
+	st.SetDemands(d.At)
+	for _, e := range failed.IDs() {
+		if err := st.Fail(e); err != nil {
+			panic(fmt.Sprintf("eval: %v", err))
+		}
+	}
+	return st.Loads(), st.LostDemand()
+}
+
+// SingleLinks enumerates every single-link failure scenario.
+func SingleLinks(g *graph.Graph) []graph.LinkSet {
+	out := make([]graph.LinkSet, g.NumLinks())
+	for e := 0; e < g.NumLinks(); e++ {
+		out[e] = graph.NewLinkSet(graph.LinkID(e))
+	}
+	return out
+}
+
+// SingleEvents enumerates single failure events: one scenario per SRLG
+// and per MLG registered on the graph (the paper's single-failure-event
+// model for US-ISP). Graphs without groups fall back to duplex link
+// pairs: a fiber cut takes both directions.
+func SingleEvents(g *graph.Graph) []graph.LinkSet {
+	var out []graph.LinkSet
+	for _, grp := range g.SRLGs() {
+		out = append(out, graph.NewLinkSet(grp...))
+	}
+	for _, grp := range g.MLGs() {
+		out = append(out, graph.NewLinkSet(grp...))
+	}
+	if out == nil {
+		out = DuplexPairs(g)
+	}
+	return out
+}
+
+// DuplexPairs enumerates one scenario per bidirectional link: both
+// directions fail together, as in a fiber cut.
+func DuplexPairs(g *graph.Graph) []graph.LinkSet {
+	var out []graph.LinkSet
+	seen := make([]bool, g.NumLinks())
+	for _, l := range g.Links() {
+		if seen[l.ID] {
+			continue
+		}
+		seen[l.ID] = true
+		if l.Reverse >= 0 {
+			seen[l.Reverse] = true
+			out = append(out, graph.NewLinkSet(l.ID, l.Reverse))
+		} else {
+			out = append(out, graph.NewLinkSet(l.ID))
+		}
+	}
+	return out
+}
+
+// AllPairs enumerates every unordered pair of base events (the paper's
+// "all two-link failures").
+func AllPairs(events []graph.LinkSet) []graph.LinkSet {
+	var out []graph.LinkSet
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			out = append(out, events[i].Union(events[j]))
+		}
+	}
+	return out
+}
+
+// Sample draws n distinct random unions of k base events, seeded for
+// reproducibility (the paper samples ~1100 three- and four-link
+// scenarios).
+func Sample(events []graph.LinkSet, k, n int, seed int64) []graph.LinkSet {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	var out []graph.LinkSet
+	for attempts := 0; len(out) < n && attempts < 50*n; attempts++ {
+		idx := rng.Perm(len(events))[:k]
+		sort.Ints(idx)
+		key := fmt.Sprint(idx)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s := events[idx[0]]
+		for _, i := range idx[1:] {
+			s = s.Union(events[i])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FilterConnected drops scenarios that disconnect the network. The
+// paper's congestion metrics exclude demand lost to partitions (Theorem 1
+// is stated modulo reachability); performance ratios on partitioned
+// topologies measure partition artifacts rather than protection quality,
+// so the multi-failure figures evaluate connectivity-preserving scenarios.
+func FilterConnected(g *graph.Graph, scenarios []graph.LinkSet) []graph.LinkSet {
+	var out []graph.LinkSet
+	for _, sc := range scenarios {
+		if g.Connected(sc.Alive()) {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// Result is the evaluation of one scenario.
+type Result struct {
+	Scenario graph.LinkSet
+	// Bottleneck is the bottleneck traffic intensity per scheme name.
+	Bottleneck map[string]float64
+	// Lost is the dropped demand per scheme name.
+	Lost map[string]float64
+	// Optimal is the optimal flow-based routing's bottleneck for the
+	// scenario (the performance-ratio denominator).
+	Optimal float64
+}
+
+// Ratio returns scheme's performance ratio for this scenario. Ratios are
+// clamped below at 1 (the optimal is a lower bound; the approximate
+// solver can land a scheme marginally under it).
+func (r *Result) Ratio(scheme string) float64 {
+	if r.Optimal == 0 {
+		return 1
+	}
+	ratio := r.Bottleneck[scheme] / r.Optimal
+	if ratio < 1 {
+		return 1
+	}
+	return ratio
+}
+
+// Engine evaluates schemes over scenarios on a fixed topology.
+type Engine struct {
+	G *graph.Graph
+	// Schemes are evaluated on every scenario. Scheme implementations in
+	// internal/protect and R3Scheme are safe for the engine's concurrent
+	// use.
+	Schemes []protect.Scheme
+	// OptimalIterations is the solver effort for the per-scenario optimal
+	// baseline (default 200).
+	OptimalIterations int
+	// Workers bounds evaluation concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// Evaluate runs every scheme on every scenario for the given demand.
+// Scenarios are independent and evaluated concurrently.
+func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Result {
+	opt := &protect.Optimal{G: en.G, Iterations: en.OptimalIterations}
+	results := make([]Result, len(scenarios))
+
+	workers := en.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Warm lazily initialized scheme caches serially so the workers only
+	// read them.
+	if len(scenarios) > 0 && workers > 1 {
+		for _, s := range en.Schemes {
+			s.Loads(scenarios[0], d)
+		}
+	}
+
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(scenarios) {
+					return
+				}
+				sc := scenarios[i]
+				res := Result{
+					Scenario:   sc,
+					Bottleneck: make(map[string]float64, len(en.Schemes)),
+					Lost:       make(map[string]float64, len(en.Schemes)),
+				}
+				ol, _ := opt.Loads(sc, d)
+				res.Optimal = protect.Bottleneck(en.G, sc, ol)
+				for _, s := range en.Schemes {
+					loads, lost := s.Loads(sc, d)
+					res.Bottleneck[s.Name()] = protect.Bottleneck(en.G, sc, loads)
+					res.Lost[s.Name()] = lost
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// WorstCase returns, for each scheme, the maximum bottleneck across the
+// results (the paper's "worst case performance upon all possible single
+// failure events" per interval).
+func WorstCase(results []Result) map[string]float64 {
+	worst := make(map[string]float64)
+	for _, r := range results {
+		for name, b := range r.Bottleneck {
+			if b > worst[name] {
+				worst[name] = b
+			}
+		}
+	}
+	return worst
+}
+
+// SortedRatios returns the performance ratios of one scheme across the
+// results, ascending — the x-axis ordering used by Figures 4–7.
+func SortedRatios(results []Result, scheme string) []float64 {
+	out := make([]float64, len(results))
+	for i := range results {
+		out[i] = results[i].Ratio(scheme)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// SortedBottlenecks returns one scheme's bottleneck intensities sorted
+// ascending (Figure 8's y-axis).
+func SortedBottlenecks(results []Result, scheme string) []float64 {
+	out := make([]float64, len(results))
+	for i := range results {
+		out[i] = results[i].Bottleneck[scheme]
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// TopWorst returns the n scenarios with the highest optimal bottleneck
+// (used for the paper's "top 100 worst-case scenarios" in Figure 8).
+func TopWorst(results []Result, n int) []Result {
+	cp := append([]Result(nil), results...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Optimal > cp[j].Optimal })
+	if n > len(cp) {
+		n = len(cp)
+	}
+	return cp[:n]
+}
+
+// ClassBottlenecks evaluates per-class bottleneck intensity for
+// prioritized R3 (Figure 8): the class's own traffic is routed with the
+// reconfigured base routing and measured alone on each link.
+func ClassBottlenecks(plan *core.Plan, classes map[traffic.Class]*traffic.Matrix, failed graph.LinkSet) map[traffic.Class]float64 {
+	out := make(map[traffic.Class]float64, len(classes))
+	for cls, d := range classes {
+		st := core.NewState(plan)
+		st.SetDemands(d.At)
+		for _, e := range failed.IDs() {
+			if err := st.Fail(e); err != nil {
+				panic(fmt.Sprintf("eval: %v", err))
+			}
+		}
+		out[cls] = protect.Bottleneck(plan.G, failed, st.Loads())
+	}
+	return out
+}

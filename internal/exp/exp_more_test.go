@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRocketfuelFigureSBCQuick(t *testing.T) {
+	o := tinyOpts()
+	o.MaxScenarios = 15
+	r := RocketfuelFigure("SBC", 2, o)
+	if len(r.Schemes) != len(SchemeOrder) {
+		t.Fatalf("schemes = %v", r.Schemes)
+	}
+	for j, s := range r.Sorted {
+		if len(s) == 0 {
+			t.Fatalf("scheme %d has no scenarios", j)
+		}
+		if s[0] < 1 {
+			t.Fatalf("ratio %v below 1", s[0])
+		}
+	}
+	// The paper's SBC observation: the jointly optimized MPLS-ff+R3 is
+	// competitive with (median not far above) the per-scenario optimal
+	// detours.
+	r3 := r.Sorted[indexOf(r.Schemes, "MPLS-ff+R3")]
+	opt := r.Sorted[indexOf(r.Schemes, "OSPF+opt")]
+	if r3[len(r3)/2] > opt[len(opt)/2]*2 {
+		t.Errorf("SBC median: MPLS-ff+R3 %.3f far above OSPF+opt %.3f",
+			r3[len(r3)/2], opt[len(opt)/2])
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "SBC") {
+		t.Fatalf("title missing SBC")
+	}
+}
+
+func TestRocketfuelFigureUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unknown network accepted")
+		}
+	}()
+	RocketfuelFigure("NotANetwork", 2, tinyOpts())
+}
+
+func TestEnvelopeOf(t *testing.T) {
+	if envelopeOf(Options{Envelope: -1}) != 0 {
+		t.Fatalf("negative envelope should disable")
+	}
+	if envelopeOf(Options{Envelope: 1.2}) != 1.2 {
+		t.Fatalf("envelope not passed through")
+	}
+	def := (Options{}).withDefaults()
+	if def.Envelope != 1.1 {
+		t.Fatalf("default envelope = %v", def.Envelope)
+	}
+}
+
+func TestEnvelopeTM(t *testing.T) {
+	miniUSISP(t)
+	w := NewUSISP(tinyOpts())
+	day := w.Day(0)
+	env := envelopeTM(day)
+	for _, m := range day {
+		m.Pairs(func(a, b graph.NodeID, v float64) {
+			if env.At(a, b) < v-1e-12 {
+				t.Fatalf("envelope below member at %d->%d", a, b)
+			}
+		})
+	}
+}
+
+func TestQuickOptionsAreSmall(t *testing.T) {
+	q := Quick()
+	full := (Options{}).withDefaults()
+	if q.Effort >= full.Effort || q.MaxScenarios >= full.MaxScenarios || q.Days >= full.Days {
+		t.Fatalf("Quick() not smaller than defaults: %+v vs %+v", q, full)
+	}
+}

@@ -1,0 +1,406 @@
+package exp
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/protect"
+	"repro/internal/traffic"
+)
+
+// usispSchemes builds the Fig 3/4/5 scheme lineup on the US-ISP-like
+// workload: OSPF weights are optimized for the day, R3 plans cover the
+// day's traffic envelope with the SRLG/MLG failure model.
+func usispSchemes(w *USISPWorkload, day []*traffic.Matrix, k int, o Options) (*graph.Graph, []protect.Scheme) {
+	g := w.G.Clone()
+	optimizeDayWeights(g, day, o)
+	env := envelopeTM(day)
+	model := core.ModelFromGraph(g, k)
+
+	mplsPlan, err := core.Precompute(g, env, core.Config{
+		Model: model, Iterations: o.Effort, PenaltyEnvelope: envelopeOf(o),
+	})
+	if err != nil {
+		panic(err)
+	}
+	ospfPlan := ospfR3PlanModel(g, env, model, o.Effort)
+
+	schemes := []protect.Scheme{
+		&protect.CSPFDetour{G: g},
+		&protect.OSPFRecon{G: g},
+		&protect.FCP{G: g},
+		&protect.PathSplicing{G: g, Seed: o.Seed},
+		&eval.R3Scheme{Label: "OSPF+R3", Plan: ospfPlan},
+		&protect.OptDetour{G: g, Iterations: o.OptIter},
+		&eval.R3Scheme{Label: "MPLS-ff+R3", Plan: mplsPlan},
+	}
+	return g, schemes
+}
+
+// Figure3Result is the normalized worst-case bottleneck per interval per
+// scheme over one day (paper Figure 3).
+type Figure3Result struct {
+	Schemes []string
+	// Rows[i][j] is interval i's normalized worst-case bottleneck for
+	// scheme j; the last column is the optimal-with-failure line.
+	Rows [][]float64
+}
+
+// Figure3 reproduces the single-failure time series for the US-ISP-like
+// network: per hourly interval, the worst bottleneck over all single
+// failure events (SRLGs and MLGs), normalized by the highest no-failure
+// optimal bottleneck in the trace.
+func Figure3(w *USISPWorkload, dayIdx int, o Options) *Figure3Result {
+	o = o.withDefaults()
+	day := w.Day(dayIdx)
+	g, schemes := usispSchemes(w, day, 1, o)
+	events := eval.SingleEvents(g)
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter}
+
+	// Normalization constant: highest no-failure optimal bottleneck.
+	norm := 0.0
+	opt := &protect.Optimal{G: g, Iterations: o.OptIter}
+	for _, d := range day {
+		loads, _ := opt.Loads(graph.LinkSet{}, d)
+		if b := protect.Bottleneck(g, graph.LinkSet{}, loads); b > norm {
+			norm = b
+		}
+	}
+
+	res := &Figure3Result{Schemes: append(append([]string(nil), SchemeOrder...), "optimal")}
+	for _, d := range day {
+		results := en.Evaluate(d, events)
+		worst := eval.WorstCase(results)
+		row := make([]float64, 0, len(res.Schemes))
+		for _, name := range SchemeOrder {
+			row = append(row, worst[name]/norm)
+		}
+		// Optimal-with-failure line: worst over events of the optimal
+		// bottleneck.
+		wOpt := 0.0
+		for _, r := range results {
+			if r.Optimal > wOpt {
+				wOpt = r.Optimal
+			}
+		}
+		row = append(row, wOpt/norm)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print writes the series.
+func (r *Figure3Result) Print(w io.Writer) {
+	printSeries(w, "Figure 3: normalized worst-case bottleneck, single failure events, one day (US-ISP-like)", r.Schemes, r.Rows)
+}
+
+// Figure4Result is the sorted per-interval performance ratio over a week
+// (paper Figure 4).
+type Figure4Result struct {
+	Schemes []string
+	// Sorted[j] is scheme j's ascending per-interval ratio series.
+	Sorted [][]float64
+}
+
+// Figure4 reproduces the week-long single-failure summary: for every
+// hourly interval, each scheme's worst-case bottleneck over single
+// failure events is divided by the worst-case optimal bottleneck, and the
+// 168 ratios are reported sorted.
+func Figure4(w *USISPWorkload, o Options) *Figure4Result {
+	o = o.withDefaults()
+	res := &Figure4Result{Schemes: append([]string(nil), SchemeOrder...)}
+	perScheme := make(map[string][]float64)
+
+	for day := 0; day < o.Days; day++ {
+		dayTMs := w.Day(day)
+		g, schemes := usispSchemes(w, dayTMs, 1, o)
+		events := eval.SingleEvents(g)
+		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter}
+		for _, d := range dayTMs {
+			results := en.Evaluate(d, events)
+			worst := eval.WorstCase(results)
+			wOpt := 0.0
+			for _, r := range results {
+				if r.Optimal > wOpt {
+					wOpt = r.Optimal
+				}
+			}
+			for _, name := range SchemeOrder {
+				ratio := 1.0
+				if wOpt > 0 {
+					ratio = worst[name] / wOpt
+					if ratio < 1 {
+						ratio = 1
+					}
+				}
+				perScheme[name] = append(perScheme[name], ratio)
+			}
+		}
+	}
+	for _, name := range SchemeOrder {
+		s := perScheme[name]
+		sort.Float64s(s)
+		res.Sorted = append(res.Sorted, s)
+	}
+	return res
+}
+
+// Print writes the sorted ratio series, one x per interval rank.
+func (r *Figure4Result) Print(w io.Writer) {
+	rows := make([][]float64, len(r.Sorted[0]))
+	for i := range rows {
+		row := make([]float64, len(r.Schemes))
+		for j := range r.Schemes {
+			row[j] = r.Sorted[j][i]
+		}
+		rows[i] = row
+	}
+	printSeries(w, "Figure 4: sorted performance ratio, single failure events, one week (US-ISP-like)", r.Schemes, rows)
+}
+
+// MultiFailureResult is the sorted performance ratio across multi-failure
+// scenarios (Figures 5, 6 and 7).
+type MultiFailureResult struct {
+	Title   string
+	Schemes []string
+	Sorted  [][]float64
+}
+
+// Print writes the sorted series.
+func (r *MultiFailureResult) Print(w io.Writer) {
+	rows := make([][]float64, len(r.Sorted[0]))
+	for i := range rows {
+		row := make([]float64, len(r.Schemes))
+		for j := range r.Schemes {
+			row[j] = r.Sorted[j][i]
+		}
+		rows[i] = row
+	}
+	printSeries(w, r.Title, r.Schemes, rows)
+}
+
+// multiFailure evaluates sorted performance ratios for scenarios built
+// from base events.
+func multiFailure(title string, g *graph.Graph, schemes []protect.Scheme, d *traffic.Matrix, scenarios []graph.LinkSet, o Options) *MultiFailureResult {
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter}
+	results := en.Evaluate(d, scenarios)
+	res := &MultiFailureResult{Title: title, Schemes: schemeNames(schemes)}
+	for _, name := range res.Schemes {
+		res.Sorted = append(res.Sorted, eval.SortedRatios(results, name))
+	}
+	return res
+}
+
+func schemeNames(schemes []protect.Scheme) []string {
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// Figure5 reproduces the US-ISP multi-failure evaluation at the weekly
+// peak hour: all pairs of failure events (capped at MaxScenarios by
+// sampling) and sampled triples.
+func Figure5(w *USISPWorkload, failures int, o Options) *MultiFailureResult {
+	o = o.withDefaults()
+	peak := w.PeakInterval()
+	day := w.Day(peak / 24)
+	g, schemes := usispSchemes(w, day, failures, o)
+	events := eval.SingleEvents(g)
+
+	var scenarios []graph.LinkSet
+	if failures == 2 {
+		scenarios = eval.AllPairs(events)
+		if len(scenarios) > o.MaxScenarios {
+			scenarios = eval.Sample(events, 2, o.MaxScenarios, o.Seed+41)
+		}
+	} else {
+		scenarios = eval.Sample(events, failures, o.MaxScenarios, o.Seed+42)
+	}
+	scenarios = eval.FilterConnected(g, scenarios)
+	title := "Figure 5a: sorted performance ratio, two failures, US-ISP-like peak hour"
+	if failures != 2 {
+		title = "Figure 5b: sorted performance ratio, sampled three failures, US-ISP-like peak hour"
+	}
+	return multiFailure(title, g, schemes, w.Week[peak], scenarios, o)
+}
+
+// Figure9Result is the no-failure normalized MLU time series (paper
+// Figure 9): R3 without penalty envelope, OSPF with optimized weights, R3
+// with the envelope, and optimal.
+type Figure9Result struct {
+	Schemes []string
+	Rows    [][]float64
+}
+
+// Figure9 demonstrates the penalty envelope: a week of no-failure
+// intervals comparing R3 with and without the 10% envelope against OSPF
+// and optimal routing.
+func Figure9(w *USISPWorkload, beta float64, o Options) *Figure9Result {
+	o = o.withDefaults()
+	res := &Figure9Result{Schemes: []string{"R3 no PE", "OSPF", "R3", "optimal"}}
+
+	var norm float64
+	type interval struct {
+		vals [4]float64
+	}
+	var rows []interval
+	for day := 0; day < o.Days; day++ {
+		dayTMs := w.Day(day)
+		g := w.G.Clone()
+		optimizeDayWeights(g, dayTMs, o)
+		env := envelopeTM(dayTMs)
+		model := core.ModelFromGraph(g, 1)
+		noPE, err := core.Precompute(g, env, core.Config{Model: model, Iterations: o.Effort})
+		if err != nil {
+			panic(err)
+		}
+		withPE, err := core.Precompute(g, env, core.Config{Model: model, Iterations: o.Effort, PenaltyEnvelope: beta})
+		if err != nil {
+			panic(err)
+		}
+		opt := &protect.Optimal{G: g, Iterations: o.OptIter}
+		recon := &protect.OSPFRecon{G: g}
+		none := graph.LinkSet{}
+		for _, d := range dayTMs {
+			var iv interval
+			// R3 base routings under this interval's traffic.
+			iv.vals[0] = planBottleneck(noPE, d)
+			ol, _ := recon.Loads(none, d)
+			iv.vals[1] = protect.Bottleneck(g, none, ol)
+			iv.vals[2] = planBottleneck(withPE, d)
+			opl, _ := opt.Loads(none, d)
+			iv.vals[3] = protect.Bottleneck(g, none, opl)
+			if iv.vals[3] > norm {
+				norm = iv.vals[3]
+			}
+			rows = append(rows, iv)
+		}
+	}
+	for _, iv := range rows {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = iv.vals[j] / norm
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// planBottleneck is a plan's base-routing bottleneck under demand d with
+// no failures.
+func planBottleneck(plan *core.Plan, d *traffic.Matrix) float64 {
+	fl := plan.Base.Clone()
+	fl.SetDemands(d.At)
+	return protect.Bottleneck(plan.G, graph.LinkSet{}, fl.Loads())
+}
+
+// Print writes the series.
+func (r *Figure9Result) Print(w io.Writer) {
+	printSeries(w, "Figure 9: normalized no-failure MLU over a week (penalty envelope)", r.Schemes, r.Rows)
+}
+
+// Figure10Result compares R3 on two base routings (paper Figure 10).
+type Figure10Result struct {
+	Schemes []string
+	// SortedSingle and SortedDouble are ascending normalized MLU series.
+	SortedSingle [][]float64
+	SortedDouble [][]float64
+}
+
+// Figure10 shows base-routing robustness: OSPFInvCap+R3 versus
+// optimized-OSPF+R3 at the peak hour, across single failure events and
+// event pairs, as sorted normalized bottleneck intensity.
+func Figure10(w *USISPWorkload, o Options) *Figure10Result {
+	o = o.withDefaults()
+	peak := w.PeakInterval()
+	day := w.Day(peak / 24)
+	d := w.Week[peak]
+	env := envelopeTM(day)
+
+	// Optimized-weight base.
+	gOpt := w.G.Clone()
+	optimizeDayWeights(gOpt, day, o)
+	model := core.ModelFromGraph(gOpt, 1)
+	planOpt := ospfR3PlanModel(gOpt, env, model, o.Effort)
+
+	// Inverse-capacity base.
+	gInv := w.G.Clone()
+	invCapWeights(gInv)
+	planInv := ospfR3PlanModel(gInv, env, core.ModelFromGraph(gInv, 1), o.Effort)
+
+	schemes := []protect.Scheme{
+		&eval.R3Scheme{Label: "OSPFInvCap+R3", Plan: planInv},
+		&eval.R3Scheme{Label: "OSPF+R3", Plan: planOpt},
+	}
+
+	// Normalization: the peak interval's optimal no-failure bottleneck.
+	opt := &protect.Optimal{G: gOpt, Iterations: o.OptIter}
+	ol, _ := opt.Loads(graph.LinkSet{}, d)
+	norm := protect.Bottleneck(gOpt, graph.LinkSet{}, ol)
+
+	events := eval.SingleEvents(w.G)
+	res := &Figure10Result{Schemes: schemeNames(schemes)}
+	res.SortedSingle = sortedNormalized(gOpt, schemes, d, events, norm)
+	pairs := eval.AllPairs(events)
+	if len(pairs) > o.MaxScenarios {
+		pairs = eval.Sample(events, 2, o.MaxScenarios, o.Seed+43)
+	}
+	pairs = eval.FilterConnected(w.G, pairs)
+	res.SortedDouble = sortedNormalized(gOpt, schemes, d, pairs, norm)
+	return res
+}
+
+func sortedNormalized(g *graph.Graph, schemes []protect.Scheme, d *traffic.Matrix, scenarios []graph.LinkSet, norm float64) [][]float64 {
+	out := make([][]float64, len(schemes))
+	for j, s := range schemes {
+		vals := make([]float64, len(scenarios))
+		for i, sc := range scenarios {
+			loads, _ := s.Loads(sc, d)
+			vals[i] = protect.Bottleneck(g, sc, loads) / norm
+		}
+		sort.Float64s(vals)
+		out[j] = vals
+	}
+	return out
+}
+
+// Print writes both panels.
+func (r *Figure10Result) Print(w io.Writer) {
+	rows := transpose(r.SortedSingle)
+	printSeries(w, "Figure 10a: sorted normalized bottleneck, single failure events", r.Schemes, rows)
+	rows = transpose(r.SortedDouble)
+	printSeries(w, "Figure 10b: sorted normalized bottleneck, two failure events", r.Schemes, rows)
+}
+
+func transpose(cols [][]float64) [][]float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	rows := make([][]float64, len(cols[0]))
+	for i := range rows {
+		row := make([]float64, len(cols))
+		for j := range cols {
+			row[j] = cols[j][i]
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// ospfR3PlanModel is ospfR3Plan with an explicit failure model.
+func ospfR3PlanModel(g *graph.Graph, d *traffic.Matrix, model core.FailureModel, effort int) *core.Plan {
+	comms := odComms(g, d)
+	base := ecmpFlow(g, comms)
+	plan, err := core.Precompute(g, d, core.Config{
+		Model: model, BaseRouting: base, Iterations: effort,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return plan
+}

@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestRealWorkloadShape pins the paper's headline single-failure shape on
+// the full US-ISP-like workload: the R3 family tracks the optimal detour
+// baseline and stays well below OSPF reconvergence and the
+// reachability-only schemes. Runs one day at moderate effort (~60s).
+func TestRealWorkloadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload shape check skipped in -short mode")
+	}
+	o := Options{Effort: 150, OptIter: 40, MaxScenarios: 40, WeightOptRounds: 12, Days: 1, Seed: 1}
+	w := NewUSISP(o)
+	r := Figure3(w, 0, o)
+	mean := map[string]float64{}
+	for _, row := range r.Rows {
+		for j, name := range r.Schemes {
+			mean[name] += row[j] / float64(len(r.Rows))
+		}
+	}
+	t.Logf("means: %v", mean)
+	r3 := mean["MPLS-ff+R3"]
+	// R3 tracks optimal within 40% on average.
+	if r3 > mean["optimal"]*1.4 {
+		t.Errorf("MPLS-ff+R3 mean %.3f above 1.4x optimal %.3f", r3, mean["optimal"])
+	}
+	// R3 beats OSPF reconvergence and every reachability-only scheme.
+	for _, worse := range []string{"OSPF+recon", "OSPF+CSPF-detour", "FCP", "PathSplice"} {
+		if r3 >= mean[worse] {
+			t.Errorf("MPLS-ff+R3 mean %.3f not below %s %.3f", r3, worse, mean[worse])
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, one edge per duplex
+// pair (or a directed edge for simplex links). Optional per-link
+// annotations come from label (may be nil).
+func (g *Graph) WriteDOT(w io.Writer, label func(Link) string) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  node [shape=ellipse];\n", g.Name); err != nil {
+		return err
+	}
+	seen := make([]bool, len(g.links))
+	for _, l := range g.links {
+		if seen[l.ID] {
+			continue
+		}
+		seen[l.ID] = true
+		edgeOp := " -- "
+		if l.Reverse >= 0 {
+			seen[l.Reverse] = true
+		}
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%.0f", l.Capacity))
+		if label != nil {
+			attrs = fmt.Sprintf("label=%q", label(l))
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s%q [%s];\n",
+			g.Node(l.Src), edgeOp, g.Node(l.Dst), attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New("dotnet")
+	a := g.AddNode("alpha")
+	b := g.AddNode("beta")
+	c := g.AddNode("gamma")
+	g.AddDuplex(a, b, 100, 1, 1)
+	g.AddDuplex(b, c, 200, 1, 1)
+
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "dotnet"`, `"alpha" -- "beta"`, `"beta" -- "gamma"`, `label="100"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// One edge per duplex pair.
+	if n := strings.Count(out, " -- "); n != 2 {
+		t.Fatalf("edge count = %d, want 2", n)
+	}
+}
+
+func TestWriteDOTCustomLabel(t *testing.T) {
+	g := New("d")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddDuplex(a, b, 100, 1, 1)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, func(l Link) string { return "custom" }); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="custom"`) {
+		t.Fatalf("custom label missing: %s", buf.String())
+	}
+}

@@ -1,0 +1,435 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize  c·x
+//	subject to  a_i·x (<=|=|>=) b_i   for each constraint i
+//	            x >= 0
+//
+// It substitutes for the CPLEX solver the paper uses in its offline
+// precomputation (equation (7)). The solver is exact up to floating-point
+// tolerances and is intended for small and medium instances; large
+// topologies use the iterative solver in internal/core instead.
+//
+// The implementation is a textbook full-tableau simplex with Dantzig
+// pricing and an automatic switch to Bland's rule to guarantee termination
+// on degenerate problems. Because the dense tableau is never refactorized,
+// Solve verifies the final solution against the original constraints and
+// reports an error instead of silently returning a numerically corrupted
+// optimum.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Term is one coefficient of a constraint row: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is an LP under construction. The zero value is an empty
+// minimization problem.
+type Problem struct {
+	cost  []float64
+	names []string
+	cons  []constraint
+	// MaxIter overrides the default pivot limit when nonzero.
+	MaxIter int
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable adds a nonnegative variable with the given objective
+// coefficient and returns its index.
+func (p *Problem) AddVariable(name string, cost float64) int {
+	p.cost = append(p.cost, cost)
+	p.names = append(p.names, name)
+	return len(p.cost) - 1
+}
+
+// NumVariables reports the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.cost) }
+
+// SetCost updates the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) { p.cost[v] = cost }
+
+// AddConstraint adds the row terms (op) rhs. Terms may repeat a variable;
+// coefficients are summed.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) {
+	cp := append([]Term(nil), terms...)
+	p.cons = append(p.cons, constraint{cp, op, rhs})
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// Value is the objective value (meaningful only when Status ==
+	// Optimal).
+	Value float64
+	// X holds the variable values.
+	X []float64
+	// Iterations is the number of simplex pivots performed.
+	Iterations int
+}
+
+const (
+	tolPivot = 1e-9
+	tolZero  = 1e-7
+)
+
+// Solve runs the two-phase simplex and returns the solution. It never
+// mutates the problem, so a Problem can be re-solved after modification.
+func (p *Problem) Solve() (*Solution, error) {
+	n := len(p.cost)
+	m := len(p.cons)
+	if n == 0 {
+		return &Solution{Status: Optimal, X: nil}, nil
+	}
+
+	// Column layout: [structural 0..n) | slack/surplus | artificial].
+	// Count extra columns.
+	nSlack := 0
+	for _, c := range p.cons {
+		if c.op != EQ {
+			nSlack++
+		}
+	}
+	// Build rows with rhs >= 0.
+	type row struct {
+		coef []float64
+		rhs  float64
+		op   Op
+	}
+	rows := make([]row, m)
+	for i, c := range p.cons {
+		r := row{coef: make([]float64, n), rhs: c.rhs, op: c.op}
+		for _, t := range c.terms {
+			if t.Var < 0 || t.Var >= n {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d of %d", i, t.Var, n)
+			}
+			r.coef[t.Var] += t.Coef
+		}
+		if r.rhs < 0 {
+			for j := range r.coef {
+				r.coef[j] = -r.coef[j]
+			}
+			r.rhs = -r.rhs
+			switch r.op {
+			case LE:
+				r.op = GE
+			case GE:
+				r.op = LE
+			}
+		}
+		rows[i] = r
+	}
+
+	// Assign slack and artificial columns. Every GE and EQ row needs an
+	// artificial; LE rows use their slack as the initial basis.
+	nArt := 0
+	for _, r := range rows {
+		if r.op != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	for i := range rows {
+		t := make([]float64, total+1)
+		copy(t, rows[i].coef)
+		t[total] = rows[i].rhs
+		switch rows[i].op {
+		case LE:
+			t[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[slackCol] = -1
+			slackCol++
+			t[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			t[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+		tab[i] = t
+	}
+
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 50 * (m + total + 10)
+	}
+
+	sol := &Solution{X: make([]float64, n)}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = 1
+		}
+		// Price out the initial basis (artificials have cost 1).
+		for i, b := range basis {
+			if b >= n+nSlack {
+				for j := 0; j <= total; j++ {
+					obj[j] -= tab[i][j]
+				}
+			}
+		}
+		st, iters := simplex(tab, basis, obj, total, maxIter, n+nSlack)
+		sol.Iterations += iters
+		if st == IterLimit {
+			sol.Status = IterLimit
+			return sol, errors.New("lp: phase-1 iteration limit")
+		}
+		// Feasible iff artificial sum is ~0. obj[total] holds -objective.
+		if -obj[total] > tolZero {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i, b := range basis {
+			if b < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(tab[i][j]) > tolPivot {
+					pivot(tab, basis, nil, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it so it cannot constrain phase 2.
+				for j := 0; j <= total; j++ {
+					tab[i][j] = 0
+				}
+				basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective. Artificial columns are barred
+	// from entering (limit = n+nSlack).
+	obj := make([]float64, total+1)
+	copy(obj, p.cost)
+	for i, b := range basis {
+		if b >= 0 && b < len(p.cost) && p.cost[b] != 0 {
+			cb := p.cost[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= cb * tab[i][j]
+			}
+		}
+	}
+	st, iters := simplex(tab, basis, obj, total, maxIter, n+nSlack)
+	sol.Iterations += iters
+	switch st {
+	case Unbounded:
+		sol.Status = Unbounded
+		return sol, nil
+	case IterLimit:
+		sol.Status = IterLimit
+		return sol, errors.New("lp: phase-2 iteration limit")
+	}
+
+	for i, b := range basis {
+		if b >= 0 && b < n {
+			sol.X[b] = tab[i][total]
+		}
+	}
+	// Guard against numerical corruption: a long degenerate run on a
+	// dense tableau (no refactorization) can drift. Verify the solution
+	// against the original constraints before declaring optimality.
+	if err := p.checkFeasible(sol.X); err != nil {
+		sol.Status = IterLimit
+		return sol, fmt.Errorf("lp: solution failed verification: %v", err)
+	}
+	var val float64
+	for j, c := range p.cost {
+		val += c * sol.X[j]
+	}
+	sol.Value = val
+	sol.Status = Optimal
+	return sol, nil
+}
+
+// checkFeasible verifies x against the problem's constraints within a
+// relative tolerance.
+func (p *Problem) checkFeasible(x []float64) error {
+	const tol = 1e-5
+	for _, v := range x {
+		if v < -tol {
+			return fmt.Errorf("negative variable %v", v)
+		}
+	}
+	for i, c := range p.cons {
+		var lhs, scale float64
+		scale = math.Abs(c.rhs)
+		for _, t := range c.terms {
+			lhs += t.Coef * x[t.Var]
+			if s := math.Abs(t.Coef * x[t.Var]); s > scale {
+				scale = s
+			}
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		viol := 0.0
+		switch c.op {
+		case LE:
+			viol = lhs - c.rhs
+		case GE:
+			viol = c.rhs - lhs
+		case EQ:
+			viol = math.Abs(lhs - c.rhs)
+		}
+		if viol > tol*scale {
+			return fmt.Errorf("constraint %d violated by %v", i, viol)
+		}
+	}
+	return nil
+}
+
+// simplex runs primal simplex pivots on the tableau until optimal,
+// unbounded, or the iteration limit. obj is the (priced-out) objective
+// row; entering columns are restricted to [0, enterLimit). Pricing is
+// Dantzig's rule, switching to Bland's rule only while a degeneracy
+// streak persists (guaranteeing termination without paying Bland's slow
+// convergence on the whole solve). Returns the status and pivot count.
+func simplex(tab [][]float64, basis []int, obj []float64, total, maxIter, enterLimit int) (Status, int) {
+	m := len(tab)
+	iters := 0
+	blandAfter := maxIter / 2
+	for ; iters < maxIter; iters++ {
+		// Choose entering column.
+		enter := -1
+		if iters < blandAfter {
+			best := -tolZero
+			for j := 0; j < enterLimit; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			// Bland's rule: first improving column.
+			for j := 0; j < enterLimit; j++ {
+				if obj[j] < -tolZero {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, iters
+		}
+		// Ratio test with smallest-basis-index tie-breaking (limits
+		// cycling under Dantzig pricing; Bland's rule after blandAfter
+		// guarantees termination).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > tolPivot {
+				r := tab[i][total] / a
+				if r < bestRatio-tolPivot || (r < bestRatio+tolPivot && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, iters
+		}
+		pivot(tab, basis, obj, leave, enter, total)
+	}
+	return IterLimit, iters
+}
+
+// pivot performs a simplex pivot on (row, col), updating the tableau,
+// basis, and (when non-nil) the objective row.
+func pivot(tab [][]float64, basis []int, obj []float64, row, col, total int) {
+	pr := tab[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // avoid drift
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := tab[i]
+		for j := 0; j <= total; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	if obj != nil {
+		f := obj[col]
+		if f != 0 {
+			for j := 0; j <= total; j++ {
+				obj[j] -= f * pr[j]
+			}
+			obj[col] = 0
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,415 @@
+// Package mcf solves minimum maximum-link-utilization (min-MLU)
+// multicommodity flow problems, the optimization at the heart of
+// flow-based traffic engineering. It provides:
+//
+//   - MinMLU: a fast iterative solver (Frank–Wolfe on a log-sum-exp
+//     smoothed objective, with exact line search) that scales to the
+//     largest evaluation topologies; and
+//   - MinMLUExact: an exact solver that builds the flow LP and solves it
+//     with internal/lp, used on small instances and as the ground-truth
+//     oracle in tests.
+//
+// Both support failed-link predicates (route only over alive links),
+// fixed background loads (used by the per-scenario optimal detour
+// baseline), and silently drop commodities disconnected by a partition,
+// mirroring the paper's treatment of unreachable demands.
+package mcf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/routing"
+	"repro/internal/spf"
+)
+
+// Options configures the solvers.
+type Options struct {
+	// Alive restricts routing to links for which it returns true; nil
+	// means all links.
+	Alive func(graph.LinkID) bool
+	// Background is an optional per-link fixed load added to the flow's
+	// load when computing utilization. Length must be NumLinks when set.
+	Background []float64
+	// Iterations bounds Frank–Wolfe iterations (default 256).
+	Iterations int
+	// RelTol stops early when the duality-style gap estimate falls below
+	// RelTol × current objective (default 0.005).
+	RelTol float64
+}
+
+func (o *Options) defaults() {
+	if o.Iterations == 0 {
+		o.Iterations = 256
+	}
+	if o.RelTol == 0 {
+		o.RelTol = 0.005
+	}
+}
+
+// Result is the outcome of a min-MLU solve.
+type Result struct {
+	Flow *routing.Flow
+	// MLU is the achieved maximum link utilization including background
+	// load.
+	MLU float64
+	// Dropped counts commodities unreachable under the alive predicate.
+	Dropped int
+}
+
+// MinMLU approximately minimizes the maximum link utilization of routing
+// the given commodities (with their demands) over alive links, on top of
+// the optional background load. Unreachable commodities are dropped with
+// zero allocation.
+func MinMLU(g *graph.Graph, comms []routing.Commodity, opts Options) *Result {
+	opts.defaults()
+	nL := g.NumLinks()
+	f := routing.NewFlow(g, comms)
+
+	cap := make([]float64, nL)
+	for e := 0; e < nL; e++ {
+		cap[e] = g.Link(graph.LinkID(e)).Capacity
+	}
+	bg := opts.Background
+	if bg == nil {
+		bg = make([]float64, nL)
+	}
+
+	// Reachability screen; remember reachable commodities.
+	reach := make([]bool, len(comms))
+	dropped := 0
+	distCache := map[graph.NodeID][]float64{}
+	costW := func(id graph.LinkID) float64 { return 1 }
+	for k, c := range comms {
+		distTo, ok := distCache[c.Dst]
+		if !ok {
+			distTo = spf.DijkstraTo(g, c.Dst, opts.Alive, costW)
+			distCache[c.Dst] = distTo
+		}
+		if math.IsInf(distTo[c.Src], 1) {
+			dropped++
+			continue
+		}
+		reach[k] = true
+	}
+
+	// Initialize: route every reachable commodity on an
+	// inverse-capacity-cost shortest path (a reasonable starting point
+	// that avoids tiny links).
+	loads := append([]float64(nil), bg...)
+	invCap := func(id graph.LinkID) float64 { return 1e9 / g.Link(id).Capacity }
+	assignShortest(g, f.Comms, reach, opts.Alive, invCap, func(k int, path []graph.LinkID) {
+		for _, id := range path {
+			f.Frac[k][id] = 1
+			loads[id] += comms[k].Demand
+		}
+	})
+
+	mlu := util(loads, cap)
+	if allZeroDemand(comms) || mlu == 0 {
+		return &Result{Flow: f, MLU: util(bg, cap), Dropped: dropped}
+	}
+
+	// Frank–Wolfe on Φ_μ(loads) = μ ln Σ_e exp(util_e/μ), with μ shrinking
+	// as the objective tightens. The exact line search works on the true
+	// MLU (convex piecewise-linear along the segment); a zero step is a
+	// stall, escaped by the μ schedule and bounded by a stall counter.
+	dirFrac := make([][]float64, len(comms)) // reused direction rows
+	gotDir := make([]bool, len(comms))
+	stalls := 0
+	for it := 0; it < opts.Iterations; it++ {
+		mu := math.Max(mlu/500, mlu*0.05*math.Pow(0.97, float64(it)))
+		q := softmax(loads, cap, mu)
+
+		// Linear minimization oracle: shortest paths under cost q_e/c_e.
+		cost := func(id graph.LinkID) float64 {
+			return q[id]/cap[id] + 1e-15
+		}
+		dirLoads := append([]float64(nil), bg...)
+		for k := range dirFrac {
+			gotDir[k] = false
+			if dirFrac[k] == nil {
+				dirFrac[k] = make([]float64, nL)
+			} else {
+				for e := range dirFrac[k] {
+					dirFrac[k][e] = 0
+				}
+			}
+		}
+		assignShortest(g, f.Comms, reach, opts.Alive, cost, func(k int, path []graph.LinkID) {
+			gotDir[k] = true
+			for _, id := range path {
+				dirFrac[k][id] = 1
+				dirLoads[id] += comms[k].Demand
+			}
+		})
+		// A commodity without a fresh direction keeps its current routing.
+		for k := range comms {
+			if !reach[k] || gotDir[k] {
+				continue
+			}
+			copy(dirFrac[k], f.Frac[k])
+			d := comms[k].Demand
+			for e, v := range f.Frac[k] {
+				if v != 0 {
+					dirLoads[e] += d * v
+				}
+			}
+		}
+
+		// Gap estimate from the smoothed gradient inner products.
+		gap := innerUtil(q, loads, cap) - innerUtil(q, dirLoads, cap)
+		if gap < opts.RelTol*mlu && it > 8 {
+			break
+		}
+
+		gamma := lineSearch(loads, dirLoads, cap)
+		if gamma <= 1e-9 {
+			stalls++
+			if stalls > 24 {
+				break
+			}
+			continue
+		}
+		stalls = 0
+		for e := 0; e < nL; e++ {
+			loads[e] = (1-gamma)*loads[e] + gamma*dirLoads[e]
+		}
+		for k := range comms {
+			if !reach[k] {
+				continue
+			}
+			fk, dk := f.Frac[k], dirFrac[k]
+			for e := 0; e < nL; e++ {
+				fk[e] = (1-gamma)*fk[e] + gamma*dk[e]
+			}
+		}
+		mlu = util(loads, cap)
+	}
+
+	f.RemoveLoops()
+	// Recompute exactly from the final fractions.
+	final := append([]float64(nil), bg...)
+	f.AddLoads(final)
+	return &Result{Flow: f, MLU: util(final, cap), Dropped: dropped}
+}
+
+// assignShortest invokes emit(k, path) with one shortest path per
+// reachable commodity under the given cost, sharing one reverse Dijkstra
+// per destination. Paths follow the Dijkstra tree, so they are always
+// simple.
+func assignShortest(g *graph.Graph, comms []routing.Commodity, reach []bool, alive func(graph.LinkID) bool, cost spf.Cost, emit func(int, []graph.LinkID)) {
+	groups := map[graph.NodeID][]int{}
+	for k := range comms {
+		if reach[k] {
+			groups[comms[k].Dst] = append(groups[comms[k].Dst], k)
+		}
+	}
+	for dst, ks := range groups {
+		_, next := spf.DijkstraToWithNext(g, dst, alive, cost)
+		for _, k := range ks {
+			if path := spf.PathVia(g, comms[k].Src, next); path != nil {
+				emit(k, path)
+			}
+		}
+	}
+}
+
+func util(loads, cap []float64) float64 {
+	max := 0.0
+	for e, l := range loads {
+		if u := l / cap[e]; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// softmax returns the gradient weights q_e ∝ exp(util_e/μ), summing to 1.
+func softmax(loads, cap []float64, mu float64) []float64 {
+	q := make([]float64, len(loads))
+	maxU := util(loads, cap)
+	var sum float64
+	for e := range q {
+		q[e] = math.Exp((loads[e]/cap[e] - maxU) / mu)
+		sum += q[e]
+	}
+	for e := range q {
+		q[e] /= sum
+	}
+	return q
+}
+
+func innerUtil(q, loads, cap []float64) float64 {
+	var s float64
+	for e := range q {
+		s += q[e] * loads[e] / cap[e]
+	}
+	return s
+}
+
+// lineSearch minimizes util((1-γ)a + γb) over γ ∈ [0,1] by ternary search
+// (the function is convex piecewise-linear in γ).
+func lineSearch(a, b, cap []float64) float64 {
+	eval := func(g float64) float64 {
+		max := 0.0
+		for e := range a {
+			if u := ((1-g)*a[e] + g*b[e]) / cap[e]; u > max {
+				max = u
+			}
+		}
+		return max
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if eval(m1) <= eval(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	g := (lo + hi) / 2
+	if eval(g) >= eval(0) {
+		return 0
+	}
+	return g
+}
+
+func allZeroDemand(comms []routing.Commodity) bool {
+	for _, c := range comms {
+		if c.Demand > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinMLUExact solves the min-MLU LP exactly with the simplex solver.
+// Intended for small instances (the LP has |comms|×|E| variables).
+// Unreachable commodities are dropped, as in MinMLU.
+func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Result, error) {
+	opts.defaults()
+	nL := g.NumLinks()
+	aliveLinks := make([]bool, nL)
+	for e := 0; e < nL; e++ {
+		aliveLinks[e] = opts.Alive == nil || opts.Alive(graph.LinkID(e))
+	}
+	bg := opts.Background
+	if bg == nil {
+		bg = make([]float64, nL)
+	}
+
+	f := routing.NewFlow(g, comms)
+	reach := make([]bool, len(comms))
+	dropped := 0
+	for k, c := range comms {
+		distTo := spf.DijkstraTo(g, c.Dst, opts.Alive, func(graph.LinkID) float64 { return 1 })
+		if math.IsInf(distTo[c.Src], 1) {
+			dropped++
+			continue
+		}
+		reach[k] = true
+	}
+
+	p := lp.NewProblem()
+	mluVar := p.AddVariable("MLU", 1)
+	// varOf[k][e] is the variable index of commodity k on link e, or -1.
+	varOf := make([][]int, len(comms))
+	for k := range comms {
+		varOf[k] = make([]int, nL)
+		for e := range varOf[k] {
+			varOf[k][e] = -1
+		}
+		if !reach[k] {
+			continue
+		}
+		for e := 0; e < nL; e++ {
+			if aliveLinks[e] {
+				varOf[k][e] = p.AddVariable(fmt.Sprintf("f%d_%d", k, e), 0)
+			}
+		}
+	}
+
+	// Routing constraints [R1]-[R3] per reachable commodity.
+	for k, c := range comms {
+		if !reach[k] {
+			continue
+		}
+		// [R2] source emits one unit net (allowing no return flow [R3]).
+		var src []lp.Term
+		for _, id := range g.Out(c.Src) {
+			if v := varOf[k][int(id)]; v >= 0 {
+				src = append(src, lp.Term{Var: v, Coef: 1})
+			}
+		}
+		p.AddConstraint(src, lp.EQ, 1)
+		// [R3] nothing enters the source.
+		for _, id := range g.In(c.Src) {
+			if v := varOf[k][int(id)]; v >= 0 {
+				p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, 0)
+			}
+		}
+		// [R1] conservation at intermediate nodes.
+		for n := 0; n < g.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == c.Src || node == c.Dst {
+				continue
+			}
+			var terms []lp.Term
+			for _, id := range g.In(node) {
+				if v := varOf[k][int(id)]; v >= 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: 1})
+				}
+			}
+			for _, id := range g.Out(node) {
+				if v := varOf[k][int(id)]; v >= 0 {
+					terms = append(terms, lp.Term{Var: v, Coef: -1})
+				}
+			}
+			if terms != nil {
+				p.AddConstraint(terms, lp.EQ, 0)
+			}
+		}
+	}
+
+	// Capacity: sum_k d_k f_k(e) + bg_e <= MLU * c_e.
+	for e := 0; e < nL; e++ {
+		if !aliveLinks[e] {
+			continue
+		}
+		cEdge := g.Link(graph.LinkID(e)).Capacity
+		terms := []lp.Term{{Var: mluVar, Coef: -cEdge}}
+		for k, c := range comms {
+			if v := varOf[k][e]; v >= 0 && c.Demand > 0 {
+				terms = append(terms, lp.Term{Var: v, Coef: c.Demand})
+			}
+		}
+		p.AddConstraint(terms, lp.LE, -bg[e])
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("mcf: LP status %v", sol.Status)
+	}
+	for k := range comms {
+		if !reach[k] {
+			continue
+		}
+		for e := 0; e < nL; e++ {
+			if v := varOf[k][e]; v >= 0 {
+				f.Frac[k][e] = sol.X[v]
+			}
+		}
+	}
+	f.RemoveLoops()
+	final := append([]float64(nil), bg...)
+	f.AddLoads(final)
+	return &Result{Flow: f, MLU: routing.MLU(g, final), Dropped: dropped}, nil
+}

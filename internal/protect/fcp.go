@@ -1,0 +1,159 @@
+package protect
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/spf"
+	"repro/internal/traffic"
+)
+
+// FCP models Failure-Carrying Packets (Lakshminarayanan et al., SIGCOMM
+// 2007) at the fluid level: a packet follows the OSPF shortest paths of
+// its current topology snapshot; when its next hop is a failed link, the
+// packet learns that link (carrying it in the header) and continues on
+// the shortest paths of the reduced snapshot. Flow states are tracked as
+// (node, learned-failure-subset) aggregates, so the model is exact for
+// the per-packet learning dynamics.
+type FCP struct {
+	G *graph.Graph
+}
+
+// Name implements Scheme.
+func (s *FCP) Name() string { return "FCP" }
+
+// fcpKey identifies a flow aggregate: at node, knowing mask of failed
+// links (indexed within the failure set).
+type fcpKey struct {
+	node graph.NodeID
+	mask uint32
+}
+
+// Loads implements Scheme.
+func (s *FCP) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, float64) {
+	g := s.G
+	nL := g.NumLinks()
+	loads := make([]float64, nL)
+	var lost float64
+
+	fids := failed.IDs()
+	if len(fids) > 20 {
+		panic("protect: FCP supports at most 20 simultaneous failures")
+	}
+	idxOf := make(map[graph.LinkID]int, len(fids))
+	for i, id := range fids {
+		idxOf[id] = i
+	}
+	fullMask := uint32(1)<<uint(len(fids)) - 1
+
+	// Per (dst, mask): ECMP next-hop sets from a reverse Dijkstra on the
+	// topology minus learned links. Cached across OD pairs.
+	type dagKey struct {
+		dst  graph.NodeID
+		mask uint32
+	}
+	dagCache := map[dagKey][]float64{} // distance-to-dst vectors
+	distFor := func(dst graph.NodeID, mask uint32) []float64 {
+		k := dagKey{dst, mask}
+		if v, ok := dagCache[k]; ok {
+			return v
+		}
+		alive := func(id graph.LinkID) bool {
+			i, isFailed := idxOf[id]
+			return !isFailed || mask&(1<<uint(i)) == 0
+		}
+		v := spf.DijkstraTo(g, dst, alive, spf.WeightCost(g))
+		dagCache[k] = v
+		return v
+	}
+
+	const eps = 1e-12
+	d.Pairs(func(a, b graph.NodeID, vol float64) {
+		// Fluid propagation over (node, mask) states. Masks only grow, so
+		// processing states by increasing mask popcount and, within a
+		// mask, by decreasing distance-to-dst terminates.
+		flow := map[fcpKey]float64{{a, 0}: vol}
+		for mask := uint32(0); mask <= fullMask; mask++ {
+			distTo := distFor(b, mask)
+			// Same-mask propagation follows the ECMP DAG, which strictly
+			// decreases distance-to-destination; processing every node in
+			// decreasing-distance order therefore visits each aggregate
+			// after all its upstream contributions have arrived.
+			// Unreachable nodes are processed first (their flow drops).
+			states := make([]fcpKey, 0, g.NumNodes())
+			for n := 0; n < g.NumNodes(); n++ {
+				states = append(states, fcpKey{graph.NodeID(n), mask})
+			}
+			sort.Slice(states, func(i, j int) bool {
+				di, dj := distTo[states[i].node], distTo[states[j].node]
+				if math.IsInf(di, 1) != math.IsInf(dj, 1) {
+					return math.IsInf(di, 1)
+				}
+				if di != dj {
+					return di > dj
+				}
+				return states[i].node < states[j].node
+			})
+			for _, st := range states {
+				f := flow[st]
+				if f <= eps || st.node == b {
+					continue
+				}
+				delete(flow, st)
+				if math.IsInf(distTo[st.node], 1) {
+					// Destination unreachable in this snapshot: dropped.
+					lost += f
+					continue
+				}
+				// ECMP next hops in the snapshot (failed links the packet
+				// has not learned yet still look usable).
+				hops := ecmpHops(g, st.node, distTo, mask, idxOf)
+				if len(hops) == 0 {
+					lost += f
+					continue
+				}
+				share := f / float64(len(hops))
+				for _, id := range hops {
+					if fi, isFailed := idxOf[id]; isFailed && mask&(1<<uint(fi)) == 0 {
+						// Packet hits the failed link, learns it, stays at
+						// the node with a bigger mask.
+						nk := fcpKey{st.node, mask | 1<<uint(fi)}
+						flow[nk] += share
+						continue
+					}
+					loads[id] += share
+					nk := fcpKey{g.Link(id).Dst, mask}
+					if nk.node == b {
+						continue // delivered
+					}
+					flow[nk] += share
+				}
+			}
+		}
+		// Whatever flow remains in non-final states was delivered or
+		// dropped above; leftover at dst keys is delivered.
+	})
+	return loads, lost
+}
+
+// ecmpHops returns the ECMP next-hop links at node u toward the
+// destination of distTo, over the snapshot where only links learned in
+// mask are removed.
+func ecmpHops(g *graph.Graph, u graph.NodeID, distTo []float64, mask uint32, idxOf map[graph.LinkID]int) []graph.LinkID {
+	const eps = 1e-9
+	var hops []graph.LinkID
+	for _, id := range g.Out(u) {
+		if fi, isFailed := idxOf[id]; isFailed && mask&(1<<uint(fi)) != 0 {
+			continue // learned: excluded from the snapshot
+		}
+		v := g.Link(id).Dst
+		if math.IsInf(distTo[v], 1) {
+			continue
+		}
+		if math.Abs(g.Link(id).Weight+distTo[v]-distTo[u]) < eps*(1+distTo[u]) {
+			hops = append(hops, id)
+		}
+	}
+	return hops
+}

@@ -1,0 +1,123 @@
+package protect
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/routing"
+	"repro/internal/spf"
+	"repro/internal/traffic"
+)
+
+// OptDetour is the paper's "opt" baseline: flow-based optimal link detour
+// routing computed per failure scenario. The base routing is fixed (OSPF
+// ECMP on the full topology, or a caller-provided flow); for each failure
+// set, the traffic that crossed each failed link becomes a commodity from
+// the link's head to its tail and the detours are jointly optimized to
+// minimize the bottleneck, given the surviving base load as background.
+// It bounds what any practical link-protection scheme can achieve, but
+// requires a fresh optimization for every scenario.
+type OptDetour struct {
+	G *graph.Graph
+	// Base optionally fixes the base routing; nil means OSPF ECMP with
+	// the graph's current weights.
+	Base *routing.Flow
+	// Iterations is the per-scenario solver effort (default 200).
+	Iterations int
+
+	// mu guards the lazily built base routing cache.
+	mu       sync.Mutex
+	cached   *routing.Flow
+	cachedTM *traffic.Matrix
+}
+
+// Name implements Scheme.
+func (s *OptDetour) Name() string { return "OSPF+opt" }
+
+func (s *OptDetour) baseFlow(d *traffic.Matrix) *routing.Flow {
+	if s.Base != nil {
+		f := s.Base.Clone()
+		f.SetDemands(d.At)
+		return f
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cached == nil || s.cachedTM != d {
+		comms := routing.ODCommodities(s.G.NumNodes(), d.At)
+		s.cached = spf.ECMPFlow(s.G, comms, nil, spf.WeightCost(s.G))
+		s.cachedTM = d
+	}
+	return s.cached
+}
+
+// Loads implements Scheme.
+func (s *OptDetour) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, float64) {
+	base := s.baseFlow(d)
+	baseLoads := base.Loads()
+
+	// Background: surviving base load.
+	bg := make([]float64, s.G.NumLinks())
+	copy(bg, baseLoads)
+	var detourComms []routing.Commodity
+	for _, e := range failed.IDs() {
+		bg[e] = 0
+		if baseLoads[e] == 0 {
+			continue
+		}
+		link := s.G.Link(e)
+		detourComms = append(detourComms, routing.Commodity{
+			Src: link.Src, Dst: link.Dst, Demand: baseLoads[e], Link: e,
+		})
+	}
+	if len(detourComms) == 0 {
+		return bg, 0
+	}
+	iters := s.Iterations
+	if iters == 0 {
+		iters = 200
+	}
+	res := mcf.MinMLU(s.G, detourComms, mcf.Options{
+		Alive:      failed.Alive(),
+		Background: bg,
+		Iterations: iters,
+	})
+	loads := make([]float64, s.G.NumLinks())
+	copy(loads, bg)
+	res.Flow.AddLoads(loads)
+	var lost float64
+	for k := range res.Flow.Comms {
+		if rowZero(res.Flow.Frac[k]) {
+			lost += res.Flow.Comms[k].Demand
+		}
+	}
+	return loads, lost
+}
+
+// Optimal is flow-based optimal routing recomputed from scratch for each
+// scenario: the lower bound every performance ratio is measured against.
+type Optimal struct {
+	G *graph.Graph
+	// Iterations is the per-scenario solver effort (default 200).
+	Iterations int
+}
+
+// Name implements Scheme.
+func (s *Optimal) Name() string { return "optimal" }
+
+// Loads implements Scheme.
+func (s *Optimal) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, float64) {
+	comms := routing.ODCommodities(s.G.NumNodes(), d.At)
+	iters := s.Iterations
+	if iters == 0 {
+		iters = 200
+	}
+	res := mcf.MinMLU(s.G, comms, mcf.Options{Alive: failed.Alive(), Iterations: iters})
+	var lost float64
+	for k := range res.Flow.Comms {
+		if rowZero(res.Flow.Frac[k]) {
+			lost += res.Flow.Comms[k].Demand
+		}
+	}
+	return res.Flow.Loads(), lost
+}

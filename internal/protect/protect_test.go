@@ -1,0 +1,297 @@
+package protect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// square: a=0, b=1, c=2, d=3; duplex links ab(0,1) ac(2,3) bd(4,5) cd(6,7).
+func square(t testing.TB) (*graph.Graph, [4]graph.NodeID) {
+	t.Helper()
+	g := graph.New("square")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.AddDuplex(a, b, 10, 1, 1)
+	g.AddDuplex(a, c, 10, 1, 1)
+	g.AddDuplex(b, d, 10, 1, 1)
+	g.AddDuplex(c, d, 10, 1, 1)
+	return g, [4]graph.NodeID{a, b, c, d}
+}
+
+func singleOD(n int, a, b graph.NodeID, vol float64) *traffic.Matrix {
+	m := traffic.NewMatrix(n)
+	m.Set(a, b, vol)
+	return m
+}
+
+// delivered computes the net inflow at dst for a single-OD load vector.
+func delivered(g *graph.Graph, loads []float64, dst graph.NodeID) float64 {
+	var in, out float64
+	for _, id := range g.In(dst) {
+		in += loads[id]
+	}
+	for _, id := range g.Out(dst) {
+		out += loads[id]
+	}
+	return in - out
+}
+
+// conservationCheck verifies delivered + lost == demand for a single-OD
+// matrix under the scheme.
+func conservationCheck(t *testing.T, g *graph.Graph, s Scheme, failed graph.LinkSet, d *traffic.Matrix, dst graph.NodeID, vol float64) {
+	t.Helper()
+	loads, lost := s.Loads(failed, d)
+	for _, e := range failed.IDs() {
+		if loads[e] != 0 {
+			t.Fatalf("%s: load %v on failed link %d", s.Name(), loads[e], e)
+		}
+	}
+	for e, l := range loads {
+		if l < -1e-9 {
+			t.Fatalf("%s: negative load %v on link %d", s.Name(), l, e)
+		}
+	}
+	got := delivered(g, loads, dst) + lost
+	if math.Abs(got-vol) > 1e-6*vol {
+		t.Fatalf("%s: delivered+lost = %v, want %v (lost=%v)", s.Name(), got, vol, lost)
+	}
+}
+
+func TestOSPFReconReroutes(t *testing.T) {
+	g, n := square(t)
+	d := singleOD(4, n[0], n[3], 8)
+	s := &OSPFRecon{G: g}
+
+	// No failure: ECMP splits 4/4 across both two-hop paths.
+	loads, lost := s.Loads(graph.LinkSet{}, d)
+	if lost != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if math.Abs(loads[0]-4) > 1e-9 || math.Abs(loads[2]-4) > 1e-9 {
+		t.Fatalf("no-failure loads = %v", loads)
+	}
+	// Fail a->b: all 8 via a->c->d.
+	loads, lost = s.Loads(graph.NewLinkSet(0), d)
+	if lost != 0 || math.Abs(loads[2]-8) > 1e-9 || math.Abs(loads[6]-8) > 1e-9 {
+		t.Fatalf("failover loads = %v lost = %v", loads, lost)
+	}
+	// Partition a: all lost.
+	_, lost = s.Loads(graph.NewLinkSet(0, 2), d)
+	if math.Abs(lost-8) > 1e-9 {
+		t.Fatalf("partition lost = %v, want 8", lost)
+	}
+	conservationCheck(t, g, s, graph.NewLinkSet(0), d, n[3], 8)
+}
+
+func TestCSPFDetourTunnels(t *testing.T) {
+	g, n := square(t)
+	d := singleOD(4, n[0], n[3], 8)
+	s := &CSPFDetour{G: g}
+
+	// Fail a->b (link 0). Base ECMP put 4 on a->b; the bypass from a to b
+	// is a->c->d->b (links 2, 6, 5). The 4 units keep their base path
+	// continuation b->d afterwards.
+	loads, lost := s.Loads(graph.NewLinkSet(0), d)
+	if lost != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if math.Abs(loads[2]-8) > 1e-9 { // 4 base + 4 detoured
+		t.Fatalf("a->c load = %v, want 8", loads[2])
+	}
+	if math.Abs(loads[5]-4) > 1e-9 { // d->b carries the bypass
+		t.Fatalf("d->b load = %v, want 4", loads[5])
+	}
+	if math.Abs(loads[4]-4) > 1e-9 { // b->d still carries base continuation
+		t.Fatalf("b->d load = %v, want 4", loads[4])
+	}
+	conservationCheck(t, g, s, graph.NewLinkSet(0), d, n[3], 8)
+}
+
+func TestCSPFDetourUnprotectable(t *testing.T) {
+	// Two parallel links only: failing both loses the bypass.
+	g := graph.New("par")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddDuplex(a, b, 10, 1, 1)
+	d := singleOD(2, a, b, 6)
+	s := &CSPFDetour{G: g}
+	_, lost := s.Loads(graph.NewLinkSet(0), d)
+	if math.Abs(lost-6) > 1e-9 {
+		t.Fatalf("lost = %v, want 6", lost)
+	}
+}
+
+func TestFCPPathDragging(t *testing.T) {
+	// FCP discovers the failure only when reaching it: traffic for a->d
+	// goes a->b (learning nothing), then at b discovers b->d failed and
+	// detours from b. OSPF recon instead routes a->c->d directly.
+	g, n := square(t)
+	g.SetWeight(2, 5) // make a->b->d the unique shortest path
+	g.SetWeight(3, 5)
+	d := singleOD(4, n[0], n[3], 8)
+
+	fcp := &FCP{G: g}
+	failed := graph.NewLinkSet(4) // b->d down
+	loads, lost := fcp.Loads(failed, d)
+	if lost != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	// Packets reach b first (a->b carries all 8), then detour b->a->c->d
+	// or via the learned-snapshot shortest path from b.
+	if loads[0] != 8 {
+		t.Fatalf("a->b load = %v, want 8 (FCP drags to the failure)", loads[0])
+	}
+	conservationCheck(t, g, fcp, failed, d, n[3], 8)
+
+	// OSPF recon avoids a->b entirely.
+	recon := &OSPFRecon{G: g}
+	rLoads, _ := recon.Loads(failed, d)
+	if rLoads[0] != 0 {
+		t.Fatalf("recon put %v on a->b", rLoads[0])
+	}
+}
+
+func TestFCPNoFailureEqualsOSPF(t *testing.T) {
+	g, n := square(t)
+	d := singleOD(4, n[0], n[3], 8)
+	fcp := &FCP{G: g}
+	recon := &OSPFRecon{G: g}
+	fl, _ := fcp.Loads(graph.LinkSet{}, d)
+	rl, _ := recon.Loads(graph.LinkSet{}, d)
+	for e := range fl {
+		if math.Abs(fl[e]-rl[e]) > 1e-9 {
+			t.Fatalf("link %d: FCP %v vs OSPF %v", e, fl[e], rl[e])
+		}
+	}
+}
+
+func TestFCPMultiFailureConservation(t *testing.T) {
+	g := topo.Abilene()
+	a, _ := g.NodeByName("Seattle")
+	b, _ := g.NodeByName("Atlanta")
+	d := singleOD(g.NumNodes(), a, b, 50)
+	fcp := &FCP{G: g}
+	failed := graph.NewLinkSet(0, 5, 9)
+	conservationCheck(t, g, fcp, failed, d, b, 50)
+}
+
+func TestPathSplicingNoFailure(t *testing.T) {
+	g, n := square(t)
+	d := singleOD(4, n[0], n[3], 8)
+	s := &PathSplicing{G: g, Seed: 1}
+	loads, lost := s.Loads(graph.LinkSet{}, d)
+	if lost != 0 {
+		t.Fatalf("lost = %v", lost)
+	}
+	// Slice 0 is the base shortest-path tree: a single two-hop path
+	// carries all traffic.
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if math.Abs(total-16) > 1e-9 { // 8 units × 2 hops
+		t.Fatalf("total load = %v, want 16", total)
+	}
+	conservationCheck(t, g, s, graph.LinkSet{}, d, n[3], 8)
+}
+
+func TestPathSplicingDetours(t *testing.T) {
+	g, n := square(t)
+	d := singleOD(4, n[0], n[3], 8)
+	s := &PathSplicing{G: g, Seed: 1}
+	// Fail both directions of the slice-0 next hop out of a; with 10
+	// slices over a 2-exit node, some slice detours via the other exit.
+	loads0, _ := s.Loads(graph.LinkSet{}, d)
+	var firstHop graph.LinkID = 0
+	if loads0[2] > loads0[0] {
+		firstHop = 2
+	}
+	failed := graph.NewLinkSet(firstHop, g.Link(firstHop).Reverse)
+	conservationCheck(t, g, s, failed, d, n[3], 8)
+	loads, lost := s.Loads(failed, d)
+	if lost > 8 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if delivered(g, loads, n[3])+lost < 8-1e-6 {
+		t.Fatalf("traffic vanished")
+	}
+}
+
+func TestOptDetourBeatsCSPF(t *testing.T) {
+	// On Abilene with a gravity matrix, the optimal detour's bottleneck
+	// can never exceed the single-path CSPF bypass bottleneck.
+	g := topo.Abilene()
+	d := traffic.Gravity(g, 300, 2)
+	cspf := &CSPFDetour{G: g}
+	opt := &OptDetour{G: g, Iterations: 120}
+	for _, e := range []graph.LinkID{0, 7, 13} {
+		failed := graph.NewLinkSet(e)
+		cl, _ := cspf.Loads(failed, d)
+		ol, _ := opt.Loads(failed, d)
+		cb := Bottleneck(g, failed, cl)
+		ob := Bottleneck(g, failed, ol)
+		if ob > cb*1.02+1e-9 {
+			t.Fatalf("link %d: opt bottleneck %v worse than CSPF %v", e, ob, cb)
+		}
+	}
+}
+
+func TestOptimalLowerBound(t *testing.T) {
+	// Optimal rerouting is a lower bound for every scheme (small solver
+	// slack allowed).
+	g := topo.Abilene()
+	d := traffic.Gravity(g, 300, 2)
+	failed := graph.NewLinkSet(3)
+	schemes := []Scheme{
+		&OSPFRecon{G: g},
+		&CSPFDetour{G: g},
+		&FCP{G: g},
+		&PathSplicing{G: g, Seed: 1},
+		&OptDetour{G: g, Iterations: 150},
+	}
+	optimal := &Optimal{G: g, Iterations: 300}
+	ol, _ := optimal.Loads(failed, d)
+	ob := Bottleneck(g, failed, ol)
+	for _, s := range schemes {
+		l, _ := s.Loads(failed, d)
+		b := Bottleneck(g, failed, l)
+		if b < ob*0.98-1e-9 {
+			t.Fatalf("%s bottleneck %v below optimal %v", s.Name(), b, ob)
+		}
+	}
+}
+
+func TestBottleneckIgnoresFailed(t *testing.T) {
+	g, _ := square(t)
+	loads := make([]float64, g.NumLinks())
+	loads[0] = 100 // would be utilization 10
+	failed := graph.NewLinkSet(0)
+	if b := Bottleneck(g, failed, loads); b != 0 {
+		t.Fatalf("Bottleneck = %v, want 0", b)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	g, _ := square(t)
+	for _, tc := range []struct {
+		s    Scheme
+		want string
+	}{
+		{&OSPFRecon{G: g}, "OSPF+recon"},
+		{&CSPFDetour{G: g}, "OSPF+CSPF-detour"},
+		{&FCP{G: g}, "FCP"},
+		{&PathSplicing{G: g}, "PathSplice"},
+		{&OptDetour{G: g}, "OSPF+opt"},
+		{&Optimal{G: g}, "optimal"},
+	} {
+		if tc.s.Name() != tc.want {
+			t.Fatalf("Name = %q, want %q", tc.s.Name(), tc.want)
+		}
+	}
+}

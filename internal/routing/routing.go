@@ -1,0 +1,336 @@
+// Package routing implements the flow representation of routing used by
+// R3 (paper §2): each commodity (an origin-destination pair, or a protected
+// link's head→tail pair) has a fraction in [0,1] on every directed link,
+// subject to the validity conditions [R1]–[R4] of equation (1).
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Commodity is one routed demand: traffic from Src to Dst of volume
+// Demand. For protection routings the commodity corresponds to a protected
+// link (Src = head, Dst = tail) and Demand is unused during optimization.
+type Commodity struct {
+	Src, Dst graph.NodeID
+	Demand   float64
+	// Link is the protected link ID when this commodity belongs to a
+	// protection routing, or -1 for an ordinary OD commodity.
+	Link graph.LinkID
+}
+
+// Flow is a routing in flow representation: Frac[k][e] is the fraction of
+// commodity k's traffic carried by link e.
+type Flow struct {
+	G     *graph.Graph
+	Comms []Commodity
+	Frac  [][]float64
+}
+
+// NewFlow allocates a zero flow for the given commodities.
+func NewFlow(g *graph.Graph, comms []Commodity) *Flow {
+	f := &Flow{G: g, Comms: append([]Commodity(nil), comms...)}
+	f.Frac = make([][]float64, len(comms))
+	for k := range f.Frac {
+		f.Frac[k] = make([]float64, g.NumLinks())
+	}
+	return f
+}
+
+// ODCommodities builds commodities from the nonzero entries of a demand
+// function. It is a convenience for traffic matrices without importing the
+// traffic package.
+func ODCommodities(n int, demand func(a, b graph.NodeID) float64) []Commodity {
+	var comms []Commodity
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if v := demand(graph.NodeID(a), graph.NodeID(b)); v > 0 {
+				comms = append(comms, Commodity{
+					Src: graph.NodeID(a), Dst: graph.NodeID(b), Demand: v, Link: -1,
+				})
+			}
+		}
+	}
+	return comms
+}
+
+// LinkCommodities builds one unit commodity per directed link: the
+// protection routing's demands (head(l) → tail(l)), in link-ID order.
+func LinkCommodities(g *graph.Graph) []Commodity {
+	comms := make([]Commodity, g.NumLinks())
+	for _, l := range g.Links() {
+		comms[l.ID] = Commodity{Src: l.Src, Dst: l.Dst, Demand: 0, Link: l.ID}
+	}
+	return comms
+}
+
+// Clone returns a deep copy of the flow.
+func (f *Flow) Clone() *Flow {
+	cp := &Flow{G: f.G, Comms: append([]Commodity(nil), f.Comms...)}
+	cp.Frac = make([][]float64, len(f.Frac))
+	for k := range f.Frac {
+		cp.Frac[k] = append([]float64(nil), f.Frac[k]...)
+	}
+	return cp
+}
+
+// Validate checks conditions [R1]–[R4] for every commodity within
+// tolerance eps:
+//
+//	[R1] flow conservation at nodes other than the commodity endpoints;
+//	[R2] the source emits exactly one unit;
+//	[R3] nothing flows back into the source;
+//	[R4] every fraction lies in [0, 1].
+//
+// A commodity whose source equals its destination is rejected.
+func (f *Flow) Validate(eps float64) error {
+	for k, c := range f.Comms {
+		if c.Src == c.Dst {
+			return fmt.Errorf("commodity %d: source equals destination", k)
+		}
+		fr := f.Frac[k]
+		for e, v := range fr {
+			if v < -eps || v > 1+eps {
+				return fmt.Errorf("commodity %d: frac[%d] = %v outside [0,1] [R4]", k, e, v)
+			}
+		}
+		var srcOut, srcIn float64
+		for _, id := range f.G.Out(c.Src) {
+			srcOut += fr[id]
+		}
+		for _, id := range f.G.In(c.Src) {
+			srcIn += fr[id]
+		}
+		if math.Abs(srcOut-1) > eps {
+			return fmt.Errorf("commodity %d: source emits %v, want 1 [R2]", k, srcOut)
+		}
+		if srcIn > eps {
+			return fmt.Errorf("commodity %d: %v flows back into source [R3]", k, srcIn)
+		}
+		for n := 0; n < f.G.NumNodes(); n++ {
+			node := graph.NodeID(n)
+			if node == c.Src || node == c.Dst {
+				continue
+			}
+			var in, out float64
+			for _, id := range f.G.In(node) {
+				in += fr[id]
+			}
+			for _, id := range f.G.Out(node) {
+				out += fr[id]
+			}
+			if math.Abs(in-out) > eps {
+				return fmt.Errorf("commodity %d: conservation violated at node %d (in %v, out %v) [R1]", k, n, in, out)
+			}
+		}
+	}
+	return nil
+}
+
+// Loads returns the total load on every link: sum over commodities of
+// demand × fraction.
+func (f *Flow) Loads() []float64 {
+	loads := make([]float64, f.G.NumLinks())
+	for k, c := range f.Comms {
+		if c.Demand == 0 {
+			continue
+		}
+		for e, v := range f.Frac[k] {
+			if v != 0 {
+				loads[e] += c.Demand * v
+			}
+		}
+	}
+	return loads
+}
+
+// AddLoads accumulates demand-weighted loads into dst (which must have
+// length NumLinks).
+func (f *Flow) AddLoads(dst []float64) {
+	for k, c := range f.Comms {
+		if c.Demand == 0 {
+			continue
+		}
+		for e, v := range f.Frac[k] {
+			if v != 0 {
+				dst[e] += c.Demand * v
+			}
+		}
+	}
+}
+
+// MLU returns the maximum link utilization of the given per-link loads.
+func MLU(g *graph.Graph, loads []float64) float64 {
+	max := 0.0
+	for e, l := range loads {
+		if u := l / g.Link(graph.LinkID(e)).Capacity; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// SetDemands overwrites commodity demands from a lookup. Commodities whose
+// pair has no entry keep demand zero.
+func (f *Flow) SetDemands(demand func(a, b graph.NodeID) float64) {
+	for k := range f.Comms {
+		f.Comms[k].Demand = demand(f.Comms[k].Src, f.Comms[k].Dst)
+	}
+}
+
+// Path is one decomposed routing path with the fraction of the commodity
+// it carries.
+type Path struct {
+	Links []graph.LinkID
+	Frac  float64
+}
+
+// Decompose performs flow decomposition of commodity k into at most
+// maxPaths paths, after removing any circulation. The returned fractions
+// sum to (approximately) 1 for a valid routing.
+func (f *Flow) Decompose(k int, maxPaths int) []Path {
+	c := f.Comms[k]
+	resid := append([]float64(nil), f.Frac[k]...)
+	removeCycles(f.G, resid)
+	var paths []Path
+	const eps = 1e-9
+	for len(paths) < maxPaths {
+		// Widest-path extraction via greedy DFS following the largest
+		// residual fraction.
+		var links []graph.LinkID
+		visited := make([]bool, f.G.NumNodes())
+		u := c.Src
+		ok := true
+		for u != c.Dst {
+			visited[u] = true
+			best, bid := eps, graph.LinkID(-1)
+			for _, id := range f.G.Out(u) {
+				if resid[id] > best && !visited[f.G.Link(id).Dst] {
+					best, bid = resid[id], id
+				}
+			}
+			if bid < 0 {
+				ok = false
+				break
+			}
+			links = append(links, bid)
+			u = f.G.Link(bid).Dst
+		}
+		if !ok || len(links) == 0 {
+			break
+		}
+		bottleneck := math.Inf(1)
+		for _, id := range links {
+			if resid[id] < bottleneck {
+				bottleneck = resid[id]
+			}
+		}
+		for _, id := range links {
+			resid[id] -= bottleneck
+		}
+		paths = append(paths, Path{Links: links, Frac: bottleneck})
+	}
+	return paths
+}
+
+// removeCycles cancels circulations in a per-link fraction vector so the
+// remaining flow is acyclic. It repeatedly finds a directed cycle in the
+// support and subtracts its bottleneck.
+func removeCycles(g *graph.Graph, frac []float64) {
+	const eps = 1e-12
+	for {
+		cycle := findCycle(g, frac, eps)
+		if cycle == nil {
+			return
+		}
+		bottleneck := math.Inf(1)
+		for _, id := range cycle {
+			if frac[id] < bottleneck {
+				bottleneck = frac[id]
+			}
+		}
+		for _, id := range cycle {
+			frac[id] -= bottleneck
+			if frac[id] < eps {
+				frac[id] = 0
+			}
+		}
+	}
+}
+
+// findCycle returns the links of some directed cycle in the support of
+// frac, or nil.
+func findCycle(g *graph.Graph, frac []float64, eps float64) []graph.LinkID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.NumNodes())
+	parent := make([]graph.LinkID, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []graph.LinkID
+	var dfs func(u graph.NodeID) bool
+	dfs = func(u graph.NodeID) bool {
+		color[u] = gray
+		for _, id := range g.Out(u) {
+			if frac[id] <= eps {
+				continue
+			}
+			v := g.Link(id).Dst
+			switch color[v] {
+			case white:
+				parent[v] = id
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a cycle: walk back from u to v.
+				cycle = []graph.LinkID{id}
+				for w := u; w != v; {
+					pid := parent[w]
+					cycle = append(cycle, pid)
+					w = g.Link(pid).Src
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		if color[n] == white && dfs(graph.NodeID(n)) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// RemoveLoops cancels circulations in every commodity of the flow in
+// place. The paper's LP adds a small penalty or postprocesses to remove
+// loops; this is the postprocessing.
+func (f *Flow) RemoveLoops() {
+	for k := range f.Frac {
+		removeCycles(f.G, f.Frac[k])
+	}
+}
+
+// AvgPathDelay returns the demand-weighted mean propagation delay of
+// commodity k under the flow (sum of frac × link delay), in ms.
+func (f *Flow) AvgPathDelay(k int) float64 {
+	var d float64
+	for e, v := range f.Frac[k] {
+		if v > 0 {
+			d += v * f.G.Link(graph.LinkID(e)).Delay
+		}
+	}
+	return d
+}

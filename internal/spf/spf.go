@@ -1,0 +1,267 @@
+// Package spf implements shortest-path routing: Dijkstra, OSPF-style ECMP
+// routing in flow representation, inverse-capacity weights, and a
+// Fortz–Thorup-style local-search IGP weight optimizer.
+package spf
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Infinity marks unreachable nodes in distance vectors.
+var Infinity = math.Inf(1)
+
+type pqItem struct {
+	node graph.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Cost returns a link cost function; nil means the link's IGP weight.
+type Cost func(graph.LinkID) float64
+
+// WeightCost returns the IGP-weight cost function for g.
+func WeightCost(g *graph.Graph) Cost {
+	return func(id graph.LinkID) float64 { return g.Link(id).Weight }
+}
+
+// DelayCost returns a propagation-delay cost function for g.
+func DelayCost(g *graph.Graph) Cost {
+	return func(id graph.LinkID) float64 { return g.Link(id).Delay }
+}
+
+// Dijkstra computes shortest distances from src over alive links (nil
+// alive = all links). Unreachable nodes get Infinity. cost must be
+// nonnegative.
+func Dijkstra(g *graph.Graph, src graph.NodeID, alive func(graph.LinkID) bool, cost Cost) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	h := &pq{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.Out(it.node) {
+			if alive != nil && !alive(id) {
+				continue
+			}
+			v := g.Link(id).Dst
+			nd := it.dist + cost(id)
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, pqItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraTo computes shortest distances TO dst (over reversed links).
+func DijkstraTo(g *graph.Graph, dst graph.NodeID, alive func(graph.LinkID) bool, cost Cost) []float64 {
+	dist, _ := DijkstraToWithNext(g, dst, alive, cost)
+	return dist
+}
+
+// DijkstraToWithNext computes shortest distances to dst and, for every
+// node, the first link of a shortest path toward dst (-1 when unreachable
+// or at dst itself). Following the next pointers always yields a simple
+// path, which makes it the safe way to extract paths.
+func DijkstraToWithNext(g *graph.Graph, dst graph.NodeID, alive func(graph.LinkID) bool, cost Cost) ([]float64, []graph.LinkID) {
+	dist := make([]float64, g.NumNodes())
+	next := make([]graph.LinkID, g.NumNodes())
+	for i := range dist {
+		dist[i] = Infinity
+		next[i] = -1
+	}
+	dist[dst] = 0
+	h := &pq{{dst, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.In(it.node) {
+			if alive != nil && !alive(id) {
+				continue
+			}
+			u := g.Link(id).Src
+			nd := it.dist + cost(id)
+			if nd < dist[u] {
+				dist[u] = nd
+				next[u] = id
+				heap.Push(h, pqItem{u, nd})
+			}
+		}
+	}
+	return dist, next
+}
+
+// PathVia follows next pointers from DijkstraToWithNext to build the link
+// list from src to the tree's destination, or nil if unreachable.
+func PathVia(g *graph.Graph, src graph.NodeID, next []graph.LinkID) []graph.LinkID {
+	if next[src] < 0 {
+		return nil
+	}
+	var path []graph.LinkID
+	u := src
+	for next[u] >= 0 {
+		id := next[u]
+		path = append(path, id)
+		u = g.Link(id).Dst
+	}
+	return path
+}
+
+// ShortestPath returns the links of one shortest path from src to dst, or
+// nil if dst is unreachable.
+func ShortestPath(g *graph.Graph, src, dst graph.NodeID, alive func(graph.LinkID) bool, cost Cost) []graph.LinkID {
+	distTo := DijkstraTo(g, dst, alive, cost)
+	if math.IsInf(distTo[src], 1) {
+		return nil
+	}
+	const eps = 1e-9
+	var links []graph.LinkID
+	u := src
+	for u != dst {
+		found := false
+		for _, id := range g.Out(u) {
+			if alive != nil && !alive(id) {
+				continue
+			}
+			v := g.Link(id).Dst
+			if math.Abs(cost(id)+distTo[v]-distTo[u]) < eps*(1+distTo[u]) {
+				links = append(links, id)
+				u = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return links
+}
+
+// ecmpFractions computes, for destination dst, the ECMP split fractions of
+// one unit injected at src: equal splitting over all shortest-path
+// next-hops at every node. Returns nil if dst is unreachable from src.
+func ecmpFractions(g *graph.Graph, src, dst graph.NodeID, alive func(graph.LinkID) bool, cost Cost, distTo []float64) []float64 {
+	if math.IsInf(distTo[src], 1) {
+		return nil
+	}
+	const eps = 1e-9
+	frac := make([]float64, g.NumLinks())
+	inflow := make([]float64, g.NumNodes())
+	inflow[src] = 1
+
+	// Process nodes in decreasing distance-to-dst order: shortest-path DAG
+	// edges always go from larger to smaller distTo.
+	order := nodesByDistDesc(distTo)
+	for _, u := range order {
+		f := inflow[u]
+		if f <= 0 || u == dst {
+			continue
+		}
+		// Find ECMP next hops.
+		var hops []graph.LinkID
+		for _, id := range g.Out(u) {
+			if alive != nil && !alive(id) {
+				continue
+			}
+			v := g.Link(id).Dst
+			if math.IsInf(distTo[v], 1) {
+				continue
+			}
+			if math.Abs(cost(id)+distTo[v]-distTo[u]) < eps*(1+distTo[u]) {
+				hops = append(hops, id)
+			}
+		}
+		if len(hops) == 0 {
+			// Should not happen when distTo[u] is finite.
+			continue
+		}
+		share := f / float64(len(hops))
+		for _, id := range hops {
+			frac[id] += share
+			inflow[g.Link(id).Dst] += share
+		}
+	}
+	return frac
+}
+
+func nodesByDistDesc(dist []float64) []graph.NodeID {
+	order := make([]graph.NodeID, 0, len(dist))
+	for n := range dist {
+		if !math.IsInf(dist[n], 1) {
+			order = append(order, graph.NodeID(n))
+		}
+	}
+	// Insertion sort is fine at these sizes; keeps determinism without an
+	// extra closure allocation per call... but use sort for clarity.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && dist[order[j-1]] < dist[order[j]]; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	return order
+}
+
+// ECMPFlow computes OSPF ECMP routing in flow representation for the given
+// commodities over alive links. Commodities whose destination is
+// unreachable get an all-zero fraction row (their traffic is lost, as under
+// a network partition).
+func ECMPFlow(g *graph.Graph, comms []routing.Commodity, alive func(graph.LinkID) bool, cost Cost) *routing.Flow {
+	if cost == nil {
+		cost = WeightCost(g)
+	}
+	f := routing.NewFlow(g, comms)
+	// Group by destination so one reverse Dijkstra serves many sources.
+	distCache := make(map[graph.NodeID][]float64)
+	for k, c := range comms {
+		distTo, ok := distCache[c.Dst]
+		if !ok {
+			distTo = DijkstraTo(g, c.Dst, alive, cost)
+			distCache[c.Dst] = distTo
+		}
+		if fr := ecmpFractions(g, c.Src, c.Dst, alive, cost, distTo); fr != nil {
+			f.Frac[k] = fr
+		}
+	}
+	return f
+}
+
+// InvCapWeights sets every link's weight to refCapacity/capacity (Cisco's
+// classic inverse-capacity default).
+func InvCapWeights(g *graph.Graph, refCapacity float64) {
+	for _, l := range g.Links() {
+		g.SetWeight(l.ID, refCapacity/l.Capacity)
+	}
+}
+
+// UnitWeights sets every link's weight to 1 (hop count routing).
+func UnitWeights(g *graph.Graph) {
+	for _, l := range g.Links() {
+		g.SetWeight(l.ID, 1)
+	}
+}

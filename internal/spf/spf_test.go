@@ -1,0 +1,178 @@
+package spf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func square(t *testing.T) (*graph.Graph, [4]graph.NodeID) {
+	t.Helper()
+	// a - b
+	// |   |
+	// c - d   (duplex, all weight 1 except c-d weight 2)
+	g := graph.New("square")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.AddDuplex(a, b, 10, 1, 1) // 0,1
+	g.AddDuplex(a, c, 10, 1, 1) // 2,3
+	g.AddDuplex(b, d, 10, 1, 1) // 4,5
+	g.AddDuplex(c, d, 10, 1, 2) // 6,7
+	return g, [4]graph.NodeID{a, b, c, d}
+}
+
+func TestDijkstraBasic(t *testing.T) {
+	g, n := square(t)
+	dist := Dijkstra(g, n[0], nil, WeightCost(g))
+	want := []float64{0, 1, 1, 2}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g, n := square(t)
+	// Cut all links out of a.
+	fail := graph.NewLinkSet(0, 2)
+	dist := Dijkstra(g, n[0], fail.Alive(), WeightCost(g))
+	if !math.IsInf(dist[n[3]], 1) {
+		t.Fatalf("d should be unreachable, dist = %v", dist[n[3]])
+	}
+}
+
+func TestDijkstraToMatchesForward(t *testing.T) {
+	g := topo.Abilene()
+	src := graph.NodeID(0)
+	for dst := 1; dst < g.NumNodes(); dst++ {
+		fwd := Dijkstra(g, src, nil, WeightCost(g))
+		back := DijkstraTo(g, graph.NodeID(dst), nil, WeightCost(g))
+		if math.Abs(fwd[dst]-back[src]) > 1e-9 {
+			t.Fatalf("dst %d: forward %v != backward %v", dst, fwd[dst], back[src])
+		}
+	}
+}
+
+func TestShortestPathAvoidsFailed(t *testing.T) {
+	g, n := square(t)
+	p := ShortestPath(g, n[0], n[3], nil, WeightCost(g))
+	// Unique shortest path a->b->d (a->c->d has weight 3).
+	if len(p) != 2 || g.Link(p[0]).Dst != n[1] {
+		t.Fatalf("path = %v", p)
+	}
+	fail := graph.NewLinkSet(0) // a->b down
+	p = ShortestPath(g, n[0], n[3], fail.Alive(), WeightCost(g))
+	if len(p) != 2 || g.Link(p[0]).Dst != n[2] {
+		t.Fatalf("detour path = %v", p)
+	}
+	// Partition: no path.
+	fail = graph.NewLinkSet(0, 2)
+	if p = ShortestPath(g, n[0], n[3], fail.Alive(), WeightCost(g)); p != nil {
+		t.Fatalf("path through failed links: %v", p)
+	}
+}
+
+func TestECMPFlowEvenSplit(t *testing.T) {
+	// With equal weights the square has two equal-cost paths a->d; ECMP
+	// must split 50/50.
+	g, n := square(t)
+	g.SetWeight(6, 1) // make c->d weight 1 too
+	comms := []routing.Commodity{{Src: n[0], Dst: n[3], Demand: 4, Link: -1}}
+	f := ECMPFlow(g, comms, nil, WeightCost(g))
+	if err := f.Validate(1e-9); err != nil {
+		t.Fatalf("ECMP flow invalid: %v", err)
+	}
+	if math.Abs(f.Frac[0][0]-0.5) > 1e-9 || math.Abs(f.Frac[0][2]-0.5) > 1e-9 {
+		t.Fatalf("split = %v / %v, want 0.5/0.5", f.Frac[0][0], f.Frac[0][2])
+	}
+	loads := f.Loads()
+	if math.Abs(loads[0]-2) > 1e-9 {
+		t.Fatalf("load on a->b = %v, want 2", loads[0])
+	}
+}
+
+func TestECMPFlowUnreachableZeroRow(t *testing.T) {
+	g, n := square(t)
+	fail := graph.NewLinkSet(0, 2)
+	comms := []routing.Commodity{{Src: n[0], Dst: n[3], Demand: 4, Link: -1}}
+	f := ECMPFlow(g, comms, fail.Alive(), WeightCost(g))
+	for e, v := range f.Frac[0] {
+		if v != 0 {
+			t.Fatalf("unreachable commodity has frac[%d] = %v", e, v)
+		}
+	}
+}
+
+func TestECMPFlowValidOnAllTopologies(t *testing.T) {
+	for _, g := range topo.All() {
+		tm := traffic.Gravity(g, 1000, 1)
+		comms := routing.ODCommodities(g.NumNodes(), tm.At)
+		f := ECMPFlow(g, comms, nil, WeightCost(g))
+		if err := f.Validate(1e-6); err != nil {
+			t.Fatalf("%s: invalid ECMP flow: %v", g.Name, err)
+		}
+	}
+}
+
+func TestInvCapWeights(t *testing.T) {
+	g := graph.New("g")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddDuplex(a, b, 100, 1, 1)
+	c := g.AddNode("c")
+	g.AddDuplex(b, c, 400, 1, 1)
+	InvCapWeights(g, 400)
+	if g.Link(0).Weight != 4 || g.Link(2).Weight != 1 {
+		t.Fatalf("weights = %v %v", g.Link(0).Weight, g.Link(2).Weight)
+	}
+	UnitWeights(g)
+	if g.Link(0).Weight != 1 {
+		t.Fatalf("UnitWeights failed")
+	}
+}
+
+func TestOptimizeWeightsImproves(t *testing.T) {
+	// A topology where hop-count routing overloads one path but capacity
+	// is plentiful elsewhere: weight optimization must shift load.
+	g := topo.SBC()
+	tm := traffic.Gravity(g, 0.4*topo.OC192*float64(g.NumNodes())/4, 2)
+	demand := tm.At
+
+	UnitWeights(g)
+	comms := routing.ODCommodities(g.NumNodes(), demand)
+	before := routing.MLU(g, ECMPFlow(g, comms, nil, WeightCost(g)).Loads())
+
+	after := OptimizeWeights(g, []func(a, b graph.NodeID) float64{demand}, OptimizeOptions{Rounds: 30, Seed: 1})
+	if after > before+1e-9 {
+		t.Fatalf("optimization made MLU worse: before %v after %v", before, after)
+	}
+	// Reported MLU must match re-evaluation with the final weights.
+	reEval := routing.MLU(g, ECMPFlow(g, comms, nil, WeightCost(g)).Loads())
+	if math.Abs(reEval-after) > 1e-9 {
+		t.Fatalf("reported %v but re-evaluated %v", after, reEval)
+	}
+}
+
+func BenchmarkDijkstraUUNet(b *testing.B) {
+	g := topo.UUNet()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, graph.NodeID(i%g.NumNodes()), nil, WeightCost(g))
+	}
+}
+
+func BenchmarkECMPFlowUUNet(b *testing.B) {
+	g := topo.UUNet()
+	tm := traffic.Gravity(g, 1000, 1)
+	comms := routing.ODCommodities(g.NumNodes(), tm.At)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ECMPFlow(g, comms, nil, WeightCost(g))
+	}
+}

@@ -1,0 +1,115 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+const sampleTopo = `
+# three PoPs in a triangle
+topology demo
+node sea
+node den
+node chi
+link sea den 9953 10
+link den chi 9953 5 2
+link chi sea 9953 12
+srlg sea,den den,chi
+mlg chi,sea
+`
+
+func TestParseSample(t *testing.T) {
+	g, err := Parse(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" || g.NumNodes() != 3 || g.NumLinks() != 6 {
+		t.Fatalf("parsed %s: %d nodes %d links", g.Name, g.NumNodes(), g.NumLinks())
+	}
+	den, _ := g.NodeByName("den")
+	chi, _ := g.NodeByName("chi")
+	id, ok := g.FindLink(den, chi)
+	if !ok {
+		t.Fatalf("missing den-chi")
+	}
+	if l := g.Link(id); l.Weight != 2 || l.Delay != 5 {
+		t.Fatalf("link attrs: %+v", l)
+	}
+	if len(g.SRLGs()) != 1 || len(g.SRLGs()[0]) != 4 {
+		t.Fatalf("srlgs = %v", g.SRLGs())
+	}
+	if len(g.MLGs()) != 1 || len(g.MLGs()[0]) != 2 {
+		t.Fatalf("mlgs = %v", g.MLGs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":   "frob a b",
+		"undeclared node":     "link a b 1 1",
+		"bad capacity":        "node a\nnode b\nlink a b x 1",
+		"zero delay":          "node a\nnode b\nlink a b 5 0",
+		"bad weight":          "node a\nnode b\nlink a b 5 1 -2",
+		"dup link":            "node a\nnode b\nlink a b 5 1\nlink a b 5 1",
+		"node with comma":     "node a,b",
+		"srlg missing link":   "node a\nnode b\nsrlg a,b",
+		"srlg malformed pair": "node a\nnode b\nlink a b 1 1\nsrlg ab",
+		"srlg unknown node":   "node a\nnode b\nlink a b 1 1\nsrlg a,c",
+		"empty file":          "# nothing",
+		"node arity":          "node",
+		"topology arity":      "topology a b",
+		"link arity":          "node a\nnode b\nlink a b",
+	}
+	for name, input := range cases {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{Abilene(), USISP()} {
+		var buf bytes.Buffer
+		if err := Format(&buf, g); err != nil {
+			t.Fatalf("%s: Format: %v", g.Name, err)
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", g.Name, err)
+		}
+		if got.Name != g.Name || got.NumNodes() != g.NumNodes() || got.NumLinks() != g.NumLinks() {
+			t.Fatalf("%s: round trip %d/%d -> %d/%d", g.Name,
+				g.NumNodes(), g.NumLinks(), got.NumNodes(), got.NumLinks())
+		}
+		// Every original link exists with identical attributes.
+		for _, l := range g.Links() {
+			a, _ := got.NodeByName(g.Node(l.Src))
+			b, _ := got.NodeByName(g.Node(l.Dst))
+			id, ok := got.FindLink(a, b)
+			if !ok {
+				t.Fatalf("%s: lost link %s-%s", g.Name, g.Node(l.Src), g.Node(l.Dst))
+			}
+			m := got.Link(id)
+			if m.Capacity != l.Capacity || m.Delay != l.Delay || m.Weight != l.Weight {
+				t.Fatalf("%s: link attrs drifted: %+v vs %+v", g.Name, m, l)
+			}
+		}
+		if len(got.SRLGs()) != len(g.SRLGs()) || len(got.MLGs()) != len(g.MLGs()) {
+			t.Fatalf("%s: groups drifted: %d/%d vs %d/%d", g.Name,
+				len(got.SRLGs()), len(got.MLGs()), len(g.SRLGs()), len(g.MLGs()))
+		}
+	}
+}
+
+func TestFormatRejectsSimplex(t *testing.T) {
+	g := graph.New("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddLink(a, b, 1, 1, 1)
+	if err := Format(&bytes.Buffer{}, g); err == nil {
+		t.Fatalf("simplex link formatted")
+	}
+}

@@ -1,0 +1,71 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+func TestParseMatrixBasic(t *testing.T) {
+	g := topo.Abilene()
+	input := `
+# a couple of demands
+demand Seattle Denver 120.5
+demand Denver Seattle 80
+demand Seattle Denver 10   # accumulates
+`
+	m, err := ParseMatrix(strings.NewReader(input), g.NumNodes(), g.NodeByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sea, _ := g.NodeByName("Seattle")
+	den, _ := g.NodeByName("Denver")
+	if got := m.At(sea, den); math.Abs(got-130.5) > 1e-12 {
+		t.Fatalf("Seattle->Denver = %v, want 130.5", got)
+	}
+	if got := m.At(den, sea); got != 80 {
+		t.Fatalf("Denver->Seattle = %v", got)
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	g := topo.Abilene()
+	cases := map[string]string{
+		"unknown node":  "demand Seattle Nowhere 5",
+		"self demand":   "demand Seattle Seattle 5",
+		"bad volume":    "demand Seattle Denver x",
+		"negative":      "demand Seattle Denver -3",
+		"arity":         "demand Seattle Denver",
+		"bad directive": "traffic Seattle Denver 5",
+	}
+	for name, input := range cases {
+		if _, err := ParseMatrix(strings.NewReader(input), g.NumNodes(), g.NodeByName); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixFormatParseRoundTrip(t *testing.T) {
+	g := topo.SBC()
+	m := Gravity(g, 500, 3)
+	var buf bytes.Buffer
+	if err := FormatMatrix(&buf, m, func(id graph.NodeID) string { return g.Node(id) }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMatrix(bytes.NewReader(buf.Bytes()), g.NumNodes(), g.NodeByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Pairs(func(a, b graph.NodeID, v float64) {
+		if math.Abs(got.At(a, b)-v) > 1e-9*v {
+			t.Fatalf("entry %d->%d drifted: %v vs %v", a, b, got.At(a, b), v)
+		}
+	})
+	if math.Abs(got.Total()-m.Total()) > 1e-6 {
+		t.Fatalf("total drifted: %v vs %v", got.Total(), m.Total())
+	}
+}

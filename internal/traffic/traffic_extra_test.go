@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+func TestAbileneMatrixDeterministic(t *testing.T) {
+	g := topo.Abilene()
+	a := AbileneMatrix(g, 220)
+	b := AbileneMatrix(g, 220)
+	a.Pairs(func(x, y graph.NodeID, v float64) {
+		if b.At(x, y) != v {
+			t.Fatalf("AbileneMatrix not deterministic at %d->%d", x, y)
+		}
+	})
+	if math.Abs(a.Total()-220) > 1e-9 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+}
+
+func TestDiurnalWeekendDip(t *testing.T) {
+	g := topo.USISP()
+	base := Gravity(g, 1000, 7)
+	series := DiurnalSeries(base, 168, 8)
+	// Compare the same hour of day on a weekday vs the weekend: the
+	// weekend carries less on average across the week's peak hours.
+	var weekday, weekend float64
+	var nWd, nWe int
+	for h, m := range series {
+		hod := h % 24
+		if hod != 20 { // evening peak hour
+			continue
+		}
+		if (h/24)%7 >= 5 {
+			weekend += m.Total()
+			nWe++
+		} else {
+			weekday += m.Total()
+			nWd++
+		}
+	}
+	if nWd == 0 || nWe == 0 {
+		t.Fatalf("sampling failed: %d/%d", nWd, nWe)
+	}
+	if weekend/float64(nWe) >= weekday/float64(nWd) {
+		t.Fatalf("no weekend dip: weekday %v, weekend %v",
+			weekday/float64(nWd), weekend/float64(nWe))
+	}
+}
+
+func TestSplitClassesDeterministic(t *testing.T) {
+	g := topo.Abilene()
+	total := Gravity(g, 100, 1)
+	a := SplitClasses(total, 0.1, 0.2, 5)
+	b := SplitClasses(total, 0.1, 0.2, 5)
+	for cls := range a {
+		a[cls].Pairs(func(x, y graph.NodeID, v float64) {
+			if b[cls].At(x, y) != v {
+				t.Fatalf("class %v not deterministic", cls)
+			}
+		})
+	}
+}
+
+func TestPeakIndexSingleton(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 5)
+	if got := PeakIndex([]*Matrix{m}); got != 0 {
+		t.Fatalf("PeakIndex = %d", got)
+	}
+}
