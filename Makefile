@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-parallel
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector; the parallel solver
+# and evaluation engine must stay clean here at any worker count.
+race: build vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-parallel compares serial vs 8-worker precomputation/evaluation
+# and writes BENCH_parallel.json (includes the CPU count: wall-clock
+# speedup is bounded by the cores available).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelSummary' -benchtime 1x .

@@ -31,6 +31,7 @@ func main() {
 		f         = flag.Int("f", 1, "number of overlapping link failures to protect against")
 		total     = flag.Float64("total", 0, "total demand in Mbps (default: 15% of capacity)")
 		effort    = flag.Int("effort", 200, "solver effort")
+		workers   = flag.Int("workers", 0, "solver worker goroutines (0 = all CPUs, 1 = serial; same plan either way)")
 		envelope  = flag.Float64("envelope", 1.1, "normal-case penalty envelope (0 to disable)")
 		seed      = flag.Int64("seed", 1, "gravity traffic seed")
 		save      = flag.String("save", "", "write the plan to this file")
@@ -90,6 +91,7 @@ func main() {
 			Model:           core.ArbitraryFailures{F: *f},
 			Iterations:      *effort,
 			PenaltyEnvelope: *envelope,
+			Workers:         *workers,
 		})
 		if err != nil {
 			fatal(err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/par"
 	"repro/internal/routing"
 	"repro/internal/spf"
 	"repro/internal/traffic"
@@ -47,6 +48,12 @@ type Config struct {
 	// always satisfies the envelope for β >= 1 (up to the min-MLU
 	// solver's own tolerance).
 	PenaltyEnvelope float64
+	// Workers bounds the FW solver's parallelism (default GOMAXPROCS;
+	// 1 forces serial execution). The solver's parallel loops reduce in a
+	// fixed index order, so the produced plan is bit-identical for every
+	// worker count — Workers trades only wall-clock time. The LP solver
+	// ignores it.
+	Workers int
 	// DelayEnvelope, when >= 1, bounds each OD pair's mean propagation
 	// delay to DelayEnvelope × its shortest-path delay (paper §3.5). The
 	// LP solver enforces it exactly; the FW solver starts from minimum-
@@ -281,6 +288,7 @@ func solveFW(g *graph.Graph, comms []routing.Commodity, reqs []requirement, cfg 
 		g: g, comms: comms, reqs: reqs, capac: capac,
 		R: R, P: P, delayCap: delayCap,
 		optimizeBase: optimizeBase,
+		pool:         par.New(cfg.Workers),
 	}
 	st.run(iters)
 
@@ -323,6 +331,7 @@ type fwState struct {
 	P            [][]float64 // [protected link][link]
 	delayCap     []float64   // nil when no delay envelope
 	optimizeBase bool
+	pool         *par.Pool
 
 	// best-so-far snapshot by true objective
 	bestObj float64
@@ -334,26 +343,34 @@ type fwState struct {
 }
 
 // baseLoads computes per-requirement per-link base loads for fractions R.
+// Work is split over (requirement, link-chunk) tasks: each link cell is
+// summed over commodities in ascending k order by exactly one worker, so
+// the result is bit-identical for any worker count.
 func (s *fwState) baseLoads(R [][]float64) [][]float64 {
 	nL := s.g.NumLinks()
 	loads := make([][]float64, len(s.reqs))
 	for i := range s.reqs {
 		loads[i] = make([]float64, nL)
+	}
+	nC := par.NumChunks(nL)
+	s.pool.ForEach(len(s.reqs)*nC, func(t int) {
+		i := t / nC
+		lo, hi := par.Chunk(nL, t%nC)
 		dem := s.reqs[i].demands
+		li := loads[i]
 		for k := range s.comms {
 			d := dem[k]
 			if d == 0 {
 				continue
 			}
 			rk := R[k]
-			li := loads[i]
-			for e, v := range rk {
-				if v != 0 {
+			for e := lo; e < hi; e++ {
+				if v := rk[e]; v != 0 {
 					li[e] += d * v
 				}
 			}
 		}
-	}
+	})
 	return loads
 }
 
@@ -366,21 +383,25 @@ func (s *fwState) columns(P [][]float64, dst [][]float64) [][]float64 {
 			dst[e] = make([]float64, nL)
 		}
 	}
-	for e := 0; e < nL; e++ {
-		col := dst[e]
-		for l := range col {
-			col[l] = 0
-		}
-	}
-	for l := 0; l < nL; l++ {
-		cl := s.capac[l]
-		pl := P[l]
-		for e, v := range pl {
-			if v != 0 {
-				dst[e][l] = cl * v
+	// Each worker owns a contiguous range of columns dst[e][·]; entries
+	// are pure assignments, so any split is bit-identical to serial.
+	s.pool.ForEachChunk(nL, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			col := dst[e]
+			for l := range col {
+				col[l] = 0
 			}
 		}
-	}
+		for l := 0; l < nL; l++ {
+			cl := s.capac[l]
+			pl := P[l]
+			for e := lo; e < hi; e++ {
+				if v := pl[e]; v != 0 {
+					dst[e][l] = cl * v
+				}
+			}
+		}
+	})
 	return dst
 }
 
@@ -389,13 +410,22 @@ func (s *fwState) columns(P [][]float64, dst [][]float64) [][]float64 {
 func (s *fwState) objective() float64 {
 	loads := s.baseLoads(s.R)
 	s.pcol = s.columns(s.P, s.pcol)
+	nL := s.g.NumLinks()
 	worst := 0.0
 	for i := range s.reqs {
-		for e := 0; e < s.g.NumLinks(); e++ {
-			u := (loads[i][e] + s.reqs[i].model.WorstLoad(s.pcol[e])) / s.capac[e]
-			if u > worst {
-				worst = u
+		li := loads[i]
+		model := s.reqs[i].model
+		wi := par.Reduce(s.pool, nL, 0.0, func(lo, hi int) float64 {
+			w := 0.0
+			for e := lo; e < hi; e++ {
+				if u := (li[e] + model.WorstLoad(s.pcol[e])) / s.capac[e]; u > w {
+					w = u
+				}
 			}
+			return w
+		}, math.Max)
+		if wi > worst {
+			worst = wi
 		}
 	}
 	return worst
@@ -455,12 +485,17 @@ func (s *fwState) run(effort int) {
 	for i := range W {
 		W[i] = make([]float64, nL)
 	}
+	nC := par.NumChunks(nL)
 	recomputeW := func() {
-		for i := 0; i < nI; i++ {
-			for e := 0; e < nL; e++ {
-				W[i][e] = s.reqs[i].model.WorstLoad(s.pcol[e])
+		s.pool.ForEach(nI*nC, func(t int) {
+			i := t / nC
+			lo, hi := par.Chunk(nL, t%nC)
+			model := s.reqs[i].model
+			Wi := W[i]
+			for e := lo; e < hi; e++ {
+				Wi[e] = model.WorstLoad(s.pcol[e])
 			}
-		}
+		})
 	}
 	recomputeW()
 
@@ -468,10 +503,18 @@ func (s *fwState) run(effort int) {
 	trueObj := func() float64 {
 		worst := 0.0
 		for i := 0; i < nI; i++ {
-			for e := 0; e < nL; e++ {
-				if u := rowU(i, e); u > worst {
-					worst = u
+			i := i
+			wi := par.Reduce(s.pool, nL, 0.0, func(lo, hi int) float64 {
+				w := 0.0
+				for e := lo; e < hi; e++ {
+					if u := rowU(i, e); u > w {
+						w = u
+					}
 				}
+				return w
+			}, math.Max)
+			if wi > worst {
+				worst = wi
 			}
 		}
 		return worst
@@ -507,12 +550,23 @@ func (s *fwState) run(effort int) {
 		}
 
 		// ---- Softmax gradient weights ----
+		// The exp fill is slot-parallel; the normalizing sum stays serial
+		// in (i, e) order so its float association never changes.
 		q := make([][]float64, nI)
-		var zsum float64
 		for i := 0; i < nI; i++ {
 			q[i] = make([]float64, nL)
+		}
+		s.pool.ForEach(nI*nC, func(t int) {
+			i := t / nC
+			lo, hi := par.Chunk(nL, t%nC)
+			qi := q[i]
+			for e := lo; e < hi; e++ {
+				qi[e] = math.Exp((rowU(i, e) - obj) / mu)
+			}
+		})
+		var zsum float64
+		for i := 0; i < nI; i++ {
 			for e := 0; e < nL; e++ {
-				q[i][e] = math.Exp((rowU(i, e) - obj) / mu)
 				zsum += q[i][e]
 			}
 		}
@@ -610,13 +664,18 @@ func (s *fwState) run(effort int) {
 				// Insertion stats: top-(F-1) sum and F-th largest of the
 				// column with entry l excluded; then the worst virtual
 				// load as a function of x = c_l p_l(e) is
-				// sFm1 + max(x, aF).
-				for i := 0; i < nI; i++ {
+				// sFm1 + max(x, aF). This O(reqs × links²) scan per
+				// protected link is the sweep's dominant cost; each cell
+				// is a pure function of pcol, so it is slot-parallel.
+				s.pool.ForEach(nI*nC, func(t int) {
+					i := t / nC
+					lo, hi := par.Chunk(nL, t%nC)
 					F := arbF[i]
-					for e := 0; e < nL; e++ {
-						sFm1[i][e], aF[i][e] = insertionStats(s.pcol[e], l, F)
+					sfi, afi := sFm1[i], aF[i]
+					for e := lo; e < hi; e++ {
+						sfi[e], afi[e] = insertionStats(s.pcol[e], l, F)
 					}
-				}
+				})
 				evalW = func(i, e int, x float64) float64 {
 					if x > aF[i][e] {
 						return sFm1[i][e] + x
@@ -627,10 +686,12 @@ func (s *fwState) run(effort int) {
 				// With K=1, the worst case is one SRLG plus one MLG: the
 				// best group either avoids l entirely (sum precomputed) or
 				// contains l and gains x.
-				for i := 0; i < nI; i++ {
-					groupStats(grp1[i].SRLGs, s.pcol, graph.LinkID(l), sS[i], mSl[i])
-					groupStats(grp1[i].MLGs, s.pcol, graph.LinkID(l), sM[i], mMl[i])
-				}
+				s.pool.ForEach(nI*nC, func(t int) {
+					i := t / nC
+					lo, hi := par.Chunk(nL, t%nC)
+					groupStats(grp1[i].SRLGs, s.pcol, graph.LinkID(l), sS[i], mSl[i], lo, hi)
+					groupStats(grp1[i].MLGs, s.pcol, graph.LinkID(l), sM[i], mMl[i], lo, hi)
+				})
 				evalW = func(i, e int, x float64) float64 {
 					srlg := sS[i][e]
 					if v := mSl[i][e] + x; v > srlg {
@@ -686,16 +747,20 @@ func (s *fwState) run(effort int) {
 				s.pcol[e][l] = nv
 				pl[e] = nv / cl
 			}
-			for i := 0; i < nI; i++ {
-				if allArb || allGrp1 {
-					for e := 0; e < nL; e++ {
+			// Refresh W from the accepted step. The fast-path evalW
+			// closures only read precomputed stats; the generic fallback
+			// evaluates WorstLoad on the updated column directly. Both are
+			// pure per-cell reads, so the refresh is slot-parallel.
+			if allArb || allGrp1 {
+				s.pool.ForEach(nI*nC, func(t int) {
+					i := t / nC
+					lo, hi := par.Chunk(nL, t%nC)
+					for e := lo; e < hi; e++ {
 						W[i][e] = evalW(i, e, s.pcol[e][l])
 					}
-				} else {
-					for e := 0; e < nL; e++ {
-						W[i][e] = s.reqs[i].model.WorstLoad(s.pcol[e])
-					}
-				}
+				})
+			} else {
+				recomputeW()
 			}
 		}
 
@@ -717,55 +782,58 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 
 	// Direction loads for r.
 	dirR := make([][]float64, len(s.comms))
-	for k := range s.comms {
+	s.pool.ForEach(len(s.comms), func(k int) {
 		dirR[k] = make([]float64, nL)
 		if rPaths == nil || rPaths[k] == nil {
 			copy(dirR[k], s.R[k])
-			continue
+			return
 		}
 		for _, id := range rPaths[k] {
 			dirR[k][id] = 1
 		}
-	}
+	})
 	dirLoads := s.baseLoads(dirR)
 
 	// Direction columns for p.
 	dirP := make([][]float64, nL)
-	for l := 0; l < nL; l++ {
+	s.pool.ForEach(nL, func(l int) {
 		dirP[l] = make([]float64, nL)
 		if pPaths[l] == nil {
 			copy(dirP[l], s.P[l])
-			continue
+			return
 		}
 		for _, id := range pPaths[l] {
 			dirP[l][id] = 1
 		}
-	}
+	})
 	pcolDir := s.columns(dirP, nil)
 
-	col := make([]float64, nL)
+	// Each utilization cell mixes a full p-column (O(links) WorstLoad), so
+	// the fill dominates the line search; it is slot-parallel with a
+	// per-worker mixing buffer. The max and the exp sum stay serial over
+	// the slot order, keeping the float association fixed.
+	us := make([]float64, nI*nL)
 	eval := func(gamma float64) float64 {
-		worst := 0.0
-		var z float64
-		// Two passes: first find the max for stability, then sum.
-		util := func(i, e int) float64 {
-			a, b := s.pcol[e], pcolDir[e]
-			for l := 0; l < nL; l++ {
-				col[l] = (1-gamma)*a[l] + gamma*b[l]
-			}
-			bl := (1-gamma)*loads[i][e] + gamma*dirLoads[i][e]
-			return (bl + s.reqs[i].model.WorstLoad(col)) / s.capac[e]
-		}
-		us := make([]float64, 0, nI*nL)
-		for i := 0; i < nI; i++ {
-			for e := 0; e < nL; e++ {
-				u := util(i, e)
-				us = append(us, u)
-				if u > worst {
-					worst = u
+		par.ForEachChunkScratch(s.pool, nI*nL, func() []float64 {
+			return make([]float64, nL)
+		}, func(lo, hi int, col []float64) {
+			for t := lo; t < hi; t++ {
+				i, e := t/nL, t%nL
+				a, b := s.pcol[e], pcolDir[e]
+				for l := 0; l < nL; l++ {
+					col[l] = (1-gamma)*a[l] + gamma*b[l]
 				}
+				bl := (1-gamma)*loads[i][e] + gamma*dirLoads[i][e]
+				us[t] = (bl + s.reqs[i].model.WorstLoad(col)) / s.capac[e]
+			}
+		})
+		worst := 0.0
+		for _, u := range us {
+			if u > worst {
+				worst = u
 			}
 		}
+		var z float64
 		for _, u := range us {
 			z += math.Exp((u - worst) / mu)
 		}
@@ -775,24 +843,27 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 	if gamma <= 1e-9 || eval(gamma) >= eval(0)-1e-15 {
 		return
 	}
-	for k := range s.comms {
+	s.pool.ForEach(len(s.comms), func(k int) {
 		rk, dk := s.R[k], dirR[k]
 		for e := 0; e < nL; e++ {
 			rk[e] = (1-gamma)*rk[e] + gamma*dk[e]
 		}
-	}
-	for l := 0; l < nL; l++ {
+	})
+	s.pool.ForEach(nL, func(l int) {
 		pl, dl := s.P[l], dirP[l]
 		for e := 0; e < nL; e++ {
 			pl[e] = (1-gamma)*pl[e] + gamma*dl[e]
 		}
-	}
+	})
 	s.pcol = s.columns(s.P, s.pcol)
 }
 
 // pDirections computes the oracle path per protected link from the active
 // sets of the current iterate: a link e costs q weight only where l's
-// virtual demand is part of the worst case at e.
+// virtual demand is part of the worst case at e. Cost accumulation is
+// split by link column e — every cell costP[·][e] belongs to one worker
+// and sums requirements in ascending order — and the per-link Dijkstra
+// fan-out is slot-parallel, with an ActiveSet scratch per worker.
 func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 	nL := s.g.NumLinks()
 	nI := len(s.reqs)
@@ -800,28 +871,31 @@ func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 	for l := range costP {
 		costP[l] = make([]float64, nL)
 	}
-	y := make([]float64, nL)
-	for i := 0; i < nI; i++ {
-		for e := 0; e < nL; e++ {
-			if q[i][e] == 0 {
-				continue
-			}
-			s.reqs[i].model.ActiveSet(s.pcol[e], y)
-			w := q[i][e] / s.capac[e]
-			for l := 0; l < nL; l++ {
-				if y[l] > 0 {
-					costP[l][e] += w * y[l]
+	par.ForEachChunkScratch(s.pool, nL, func() []float64 {
+		return make([]float64, nL)
+	}, func(lo, hi int, y []float64) {
+		for e := lo; e < hi; e++ {
+			for i := 0; i < nI; i++ {
+				if q[i][e] == 0 {
+					continue
+				}
+				s.reqs[i].model.ActiveSet(s.pcol[e], y)
+				w := q[i][e] / s.capac[e]
+				for l := 0; l < nL; l++ {
+					if y[l] > 0 {
+						costP[l][e] += w * y[l]
+					}
 				}
 			}
 		}
-	}
+	})
 	paths := make([][]graph.LinkID, nL)
-	for l := 0; l < nL; l++ {
+	s.pool.ForEach(nL, func(l int) {
 		link := s.g.Link(graph.LinkID(l))
 		costFn := func(id graph.LinkID) float64 { return costP[l][id] + 1e-12 }
 		_, next := spf.DijkstraToWithNext(s.g, link.Dst, nil, costFn)
 		paths[l] = spf.PathVia(s.g, link.Src, next)
-	}
+	})
 	return paths
 }
 
@@ -863,16 +937,29 @@ func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
 		for k := range s.comms {
 			groups[s.comms[k].Dst] = append(groups[s.comms[k].Dst], k)
 		}
-		for dst, ks := range groups {
+		// One reverse Dijkstra per destination, fanned out across
+		// workers. Commodity sets of distinct destinations are disjoint,
+		// so every paths[k] slot has exactly one writer; the sorted
+		// destination list only fixes the task indexing.
+		dsts := make([]graph.NodeID, 0, len(groups))
+		for dst := range groups {
+			dsts = append(dsts, dst)
+		}
+		sort.Slice(dsts, func(a, b int) bool { return dsts[a] < dsts[b] })
+		s.pool.ForEach(len(dsts), func(di int) {
+			dst := dsts[di]
 			_, next := spf.DijkstraToWithNext(s.g, dst, nil, costFn)
-			for _, k := range ks {
+			for _, k := range groups[dst] {
 				paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
 			}
-		}
+		})
 		return paths
 	}
-	for k := range s.comms {
-		cost := make([]float64, nL)
+	// Demand-weighted per-commodity costs: one SPF per commodity, with a
+	// per-worker cost buffer (fully overwritten for every item).
+	par.ForEachScratch(s.pool, len(s.comms), func() []float64 {
+		return make([]float64, nL)
+	}, func(k int, cost []float64) {
 		for e := 0; e < nL; e++ {
 			var w float64
 			for i := range s.reqs {
@@ -885,7 +972,7 @@ func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
 		costFn := func(id graph.LinkID) float64 { return cost[id] }
 		_, next := spf.DijkstraToWithNext(s.g, s.comms[k].Dst, nil, costFn)
 		paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
-	}
+	})
 	return paths
 }
 
@@ -974,14 +1061,15 @@ func (s *fwState) delayBoundedPath(src, dst graph.NodeID, costFn spf.Cost, bound
 	return best
 }
 
-// groupStats fills, for every link e, best[e] = the largest positive
-// group sum over columns pcol[e] treating index skip as absent among
-// groups NOT containing skip (0 when none), and withSkip[e] = the largest
-// sum among groups containing skip with skip's own entry removed
-// (negative infinity when no group contains skip).
-func groupStats(groups [][]graph.LinkID, pcol [][]float64, skip graph.LinkID, best, withSkip []float64) {
+// groupStats fills, for every link e in [lo, hi), best[e] = the largest
+// positive group sum over columns pcol[e] treating index skip as absent
+// among groups NOT containing skip (0 when none), and withSkip[e] = the
+// largest sum among groups containing skip with skip's own entry removed
+// (negative infinity when no group contains skip). Each cell depends only
+// on its own column, so disjoint ranges can be filled concurrently.
+func groupStats(groups [][]graph.LinkID, pcol [][]float64, skip graph.LinkID, best, withSkip []float64, lo, hi int) {
 	negInf := math.Inf(-1)
-	for e := range best {
+	for e := lo; e < hi; e++ {
 		best[e] = 0
 		withSkip[e] = negInf
 	}
@@ -993,7 +1081,7 @@ func groupStats(groups [][]graph.LinkID, pcol [][]float64, skip graph.LinkID, be
 				break
 			}
 		}
-		for e := range best {
+		for e := lo; e < hi; e++ {
 			col := pcol[e]
 			var sum float64
 			for _, l := range grp {

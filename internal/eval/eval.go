@@ -8,13 +8,11 @@ package eval
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/protect"
 	"repro/internal/traffic"
 )
@@ -104,13 +102,37 @@ func AllPairs(events []graph.LinkSet) []graph.LinkSet {
 
 // Sample draws n distinct random unions of k base events, seeded for
 // reproducibility (the paper samples ~1100 three- and four-link
-// scenarios).
+// scenarios). Each attempt draws its k distinct indices directly with
+// Floyd's algorithm — O(k) random numbers instead of the full O(|events|)
+// permutation a Perm-and-truncate draw would cost per attempt. The
+// sequence for a given seed differs from the pre-Floyd implementation
+// (fewer RNG draws per attempt); any fixed seed remains reproducible.
 func Sample(events []graph.LinkSet, k, n int, seed int64) []graph.LinkSet {
+	if k <= 0 || k > len(events) {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[string]bool)
 	var out []graph.LinkSet
+	idx := make([]int, 0, k)
 	for attempts := 0; len(out) < n && attempts < 50*n; attempts++ {
-		idx := rng.Perm(len(events))[:k]
+		// Floyd's uniform k-subset sample over [0, len(events)).
+		idx = idx[:0]
+		contains := func(v int) bool {
+			for _, x := range idx {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		for j := len(events) - k; j < len(events); j++ {
+			if t := rng.Intn(j + 1); contains(t) {
+				idx = append(idx, j)
+			} else {
+				idx = append(idx, t)
+			}
+		}
 		sort.Ints(idx)
 		key := fmt.Sprint(idx)
 		if seen[key] {
@@ -182,58 +204,38 @@ type Engine struct {
 }
 
 // Evaluate runs every scheme on every scenario for the given demand.
-// Scenarios are independent and evaluated concurrently.
+// Scenarios are independent and evaluated concurrently on the shared
+// internal/par pool substrate; every result lands in its scenario's slot,
+// so the output order (and content) is independent of scheduling.
 func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Result {
 	opt := &protect.Optimal{G: en.G, Iterations: en.OptimalIterations}
 	results := make([]Result, len(scenarios))
 
-	workers := en.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	pool := par.New(en.Workers)
 	// Warm lazily initialized scheme caches serially so the workers only
 	// read them.
-	if len(scenarios) > 0 && workers > 1 {
+	if len(scenarios) > 0 && pool.Workers() > 1 {
 		for _, s := range en.Schemes {
 			s.Loads(scenarios[0], d)
 		}
 	}
 
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(scenarios) {
-					return
-				}
-				sc := scenarios[i]
-				res := Result{
-					Scenario:   sc,
-					Bottleneck: make(map[string]float64, len(en.Schemes)),
-					Lost:       make(map[string]float64, len(en.Schemes)),
-				}
-				ol, _ := opt.Loads(sc, d)
-				res.Optimal = protect.Bottleneck(en.G, sc, ol)
-				for _, s := range en.Schemes {
-					loads, lost := s.Loads(sc, d)
-					res.Bottleneck[s.Name()] = protect.Bottleneck(en.G, sc, loads)
-					res.Lost[s.Name()] = lost
-				}
-				results[i] = res
-			}
-		}()
-	}
-	wg.Wait()
+	pool.ForEach(len(scenarios), func(i int) {
+		sc := scenarios[i]
+		res := Result{
+			Scenario:   sc,
+			Bottleneck: make(map[string]float64, len(en.Schemes)),
+			Lost:       make(map[string]float64, len(en.Schemes)),
+		}
+		ol, _ := opt.Loads(sc, d)
+		res.Optimal = protect.Bottleneck(en.G, sc, ol)
+		for _, s := range en.Schemes {
+			loads, lost := s.Loads(sc, d)
+			res.Bottleneck[s.Name()] = protect.Bottleneck(en.G, sc, loads)
+			res.Lost[s.Name()] = lost
+		}
+		results[i] = res
+	})
 	return results
 }
 

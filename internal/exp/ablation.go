@@ -29,11 +29,11 @@ func SolverGap(o Options) *AblationSolverGap {
 	o = o.withDefaults()
 	g := smallRing()
 	d := traffic.Gravity(g, 120, 11)
-	lp, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 1}, Solver: core.SolverLP})
+	lp, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 1}, Solver: core.SolverLP, Workers: o.Workers})
 	if err != nil {
 		panic(err)
 	}
-	fw, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 1}, Iterations: o.Effort})
+	fw, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 1}, Iterations: o.Effort, Workers: o.Workers})
 	if err != nil {
 		panic(err)
 	}
@@ -65,7 +65,7 @@ func EnvelopeSweep(betas []float64, o Options) []EnvelopeSweepRow {
 	g := topo.SBC()
 	d := traffic.Gravity(g, 1000, o.Seed+62)
 	scaleToOptimalMLU(g, d, 0.5, o)
-	base, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 0}, Iterations: o.Effort})
+	base, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 0}, Iterations: o.Effort, Workers: o.Workers})
 	if err != nil {
 		panic(err)
 	}
@@ -73,7 +73,7 @@ func EnvelopeSweep(betas []float64, o Options) []EnvelopeSweepRow {
 
 	var rows []EnvelopeSweepRow
 	for _, beta := range betas {
-		cfg := core.Config{Model: core.ArbitraryFailures{F: 1}, Iterations: o.Effort}
+		cfg := core.Config{Model: core.ArbitraryFailures{F: 1}, Iterations: o.Effort, Workers: o.Workers}
 		if !math.IsInf(beta, 1) {
 			cfg.PenaltyEnvelope = beta
 		}
@@ -121,11 +121,11 @@ func VirtualDemand(o Options) *VirtualDemandAblation {
 	o = o.withDefaults()
 	g := smallRing()
 	d := traffic.Gravity(g, 120, 11)
-	topF, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 1}, Iterations: o.Effort})
+	topF, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: 1}, Iterations: o.Effort, Workers: o.Workers})
 	if err != nil {
 		panic(err)
 	}
-	naive, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: g.NumLinks()}, Iterations: o.Effort})
+	naive, err := core.Precompute(g, d, core.Config{Model: core.ArbitraryFailures{F: g.NumLinks()}, Iterations: o.Effort, Workers: o.Workers})
 	if err != nil {
 		panic(err)
 	}

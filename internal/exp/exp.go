@@ -42,6 +42,10 @@ type Options struct {
 	Envelope float64
 	// Seed drives sampling.
 	Seed int64
+	// Workers bounds precompute and evaluation concurrency (default
+	// GOMAXPROCS; 1 forces serial). Plans are bit-identical for every
+	// worker count, so Workers is purely a speed knob.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,7 +76,9 @@ func Quick() Options {
 }
 
 // planCache memoizes R3 precomputations shared across experiments in one
-// process (e.g. Table 2 and Table 3 reuse plans).
+// process (e.g. Table 2 and Table 3 reuse plans). The key deliberately
+// excludes Options.Workers: the solver guarantees bit-identical plans for
+// every worker count, so a plan computed at any parallelism serves all.
 var planCache sync.Map
 
 type planKey struct {
@@ -94,6 +100,7 @@ func r3Plan(g *graph.Graph, d *traffic.Matrix, f int, o Options) *core.Plan {
 		Model:           core.ArbitraryFailures{F: f},
 		Iterations:      o.Effort,
 		PenaltyEnvelope: envelopeOf(o),
+		Workers:         o.Workers,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: precompute %s: %v", g.Name, err))
@@ -113,8 +120,8 @@ func envelopeOf(o Options) float64 {
 // ospfR3Plan precomputes OSPF+R3: the base routing is fixed to ECMP on
 // the graph's current weights and only the protection routing is
 // optimized (the envelope is moot: the base is not a variable).
-func ospfR3Plan(g *graph.Graph, d *traffic.Matrix, f, effort int) *core.Plan {
-	return ospfR3PlanModel(g, d, core.ArbitraryFailures{F: f}, effort)
+func ospfR3Plan(g *graph.Graph, d *traffic.Matrix, f int, o Options) *core.Plan {
+	return ospfR3PlanModel(g, d, core.ArbitraryFailures{F: f}, o)
 }
 
 // odComms builds OD commodities for a matrix.
@@ -148,7 +155,7 @@ func standardSchemes(g *graph.Graph, d *traffic.Matrix, f int, o Options) []prot
 		&protect.OSPFRecon{G: g},
 		&protect.FCP{G: g},
 		&protect.PathSplicing{G: g, Seed: o.Seed},
-		&eval.R3Scheme{Label: "OSPF+R3", Plan: ospfR3Plan(g, d, f, o.Effort)},
+		&eval.R3Scheme{Label: "OSPF+R3", Plan: ospfR3Plan(g, d, f, o)},
 		&protect.OptDetour{G: g, Iterations: o.OptIter},
 		&eval.R3Scheme{Label: "MPLS-ff+R3", Plan: r3Plan(g, d, f, o)},
 	}

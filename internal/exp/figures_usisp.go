@@ -22,11 +22,12 @@ func usispSchemes(w *USISPWorkload, day []*traffic.Matrix, k int, o Options) (*g
 
 	mplsPlan, err := core.Precompute(g, env, core.Config{
 		Model: model, Iterations: o.Effort, PenaltyEnvelope: envelopeOf(o),
+		Workers: o.Workers,
 	})
 	if err != nil {
 		panic(err)
 	}
-	ospfPlan := ospfR3PlanModel(g, env, model, o.Effort)
+	ospfPlan := ospfR3PlanModel(g, env, model, o)
 
 	schemes := []protect.Scheme{
 		&protect.CSPFDetour{G: g},
@@ -58,7 +59,7 @@ func Figure3(w *USISPWorkload, dayIdx int, o Options) *Figure3Result {
 	day := w.Day(dayIdx)
 	g, schemes := usispSchemes(w, day, 1, o)
 	events := eval.SingleEvents(g)
-	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter}
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers}
 
 	// Normalization constant: highest no-failure optimal bottleneck.
 	norm := 0.0
@@ -118,7 +119,7 @@ func Figure4(w *USISPWorkload, o Options) *Figure4Result {
 		dayTMs := w.Day(day)
 		g, schemes := usispSchemes(w, dayTMs, 1, o)
 		events := eval.SingleEvents(g)
-		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter}
+		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers}
 		for _, d := range dayTMs {
 			results := en.Evaluate(d, events)
 			worst := eval.WorstCase(results)
@@ -185,7 +186,7 @@ func (r *MultiFailureResult) Print(w io.Writer) {
 // multiFailure evaluates sorted performance ratios for scenarios built
 // from base events.
 func multiFailure(title string, g *graph.Graph, schemes []protect.Scheme, d *traffic.Matrix, scenarios []graph.LinkSet, o Options) *MultiFailureResult {
-	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter}
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers}
 	results := en.Evaluate(d, scenarios)
 	res := &MultiFailureResult{Title: title, Schemes: schemeNames(schemes)}
 	for _, name := range res.Schemes {
@@ -255,11 +256,11 @@ func Figure9(w *USISPWorkload, beta float64, o Options) *Figure9Result {
 		optimizeDayWeights(g, dayTMs, o)
 		env := envelopeTM(dayTMs)
 		model := core.ModelFromGraph(g, 1)
-		noPE, err := core.Precompute(g, env, core.Config{Model: model, Iterations: o.Effort})
+		noPE, err := core.Precompute(g, env, core.Config{Model: model, Iterations: o.Effort, Workers: o.Workers})
 		if err != nil {
 			panic(err)
 		}
-		withPE, err := core.Precompute(g, env, core.Config{Model: model, Iterations: o.Effort, PenaltyEnvelope: beta})
+		withPE, err := core.Precompute(g, env, core.Config{Model: model, Iterations: o.Effort, PenaltyEnvelope: beta, Workers: o.Workers})
 		if err != nil {
 			panic(err)
 		}
@@ -326,12 +327,12 @@ func Figure10(w *USISPWorkload, o Options) *Figure10Result {
 	gOpt := w.G.Clone()
 	optimizeDayWeights(gOpt, day, o)
 	model := core.ModelFromGraph(gOpt, 1)
-	planOpt := ospfR3PlanModel(gOpt, env, model, o.Effort)
+	planOpt := ospfR3PlanModel(gOpt, env, model, o)
 
 	// Inverse-capacity base.
 	gInv := w.G.Clone()
 	invCapWeights(gInv)
-	planInv := ospfR3PlanModel(gInv, env, core.ModelFromGraph(gInv, 1), o.Effort)
+	planInv := ospfR3PlanModel(gInv, env, core.ModelFromGraph(gInv, 1), o)
 
 	schemes := []protect.Scheme{
 		&eval.R3Scheme{Label: "OSPFInvCap+R3", Plan: planInv},
@@ -393,11 +394,12 @@ func transpose(cols [][]float64) [][]float64 {
 }
 
 // ospfR3PlanModel is ospfR3Plan with an explicit failure model.
-func ospfR3PlanModel(g *graph.Graph, d *traffic.Matrix, model core.FailureModel, effort int) *core.Plan {
+func ospfR3PlanModel(g *graph.Graph, d *traffic.Matrix, model core.FailureModel, o Options) *core.Plan {
 	comms := odComms(g, d)
 	base := ecmpFlow(g, comms)
 	plan, err := core.Precompute(g, d, core.Config{
-		Model: model, BaseRouting: base, Iterations: effort,
+		Model: model, BaseRouting: base, Iterations: o.Effort,
+		Workers: o.Workers,
 	})
 	if err != nil {
 		panic(err)

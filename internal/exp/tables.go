@@ -57,6 +57,7 @@ func Table2For(gs []*graph.Graph, o Options) []Table2Row {
 			start := time.Now()
 			if _, err := core.Precompute(g, d, core.Config{
 				Model: core.ArbitraryFailures{F: f}, Iterations: o.Effort,
+				Workers: o.Workers,
 			}); err != nil {
 				panic(fmt.Sprintf("exp: table2 %s F=%d: %v", g.Name, f, err))
 			}

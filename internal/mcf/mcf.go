@@ -201,15 +201,24 @@ func MinMLU(g *graph.Graph, comms []routing.Commodity, opts Options) *Result {
 // per destination. Paths follow the Dijkstra tree, so they are always
 // simple.
 func assignShortest(g *graph.Graph, comms []routing.Commodity, reach []bool, alive func(graph.LinkID) bool, cost spf.Cost, emit func(int, []graph.LinkID)) {
+	// Destinations are visited in first-seen commodity order, NOT map
+	// iteration order: callers accumulate floating-point loads in emit
+	// order, so a randomized order would make MinMLU's result vary run to
+	// run (and break the solver's bit-reproducibility guarantee).
 	groups := map[graph.NodeID][]int{}
+	var order []graph.NodeID
 	for k := range comms {
 		if reach[k] {
-			groups[comms[k].Dst] = append(groups[comms[k].Dst], k)
+			dst := comms[k].Dst
+			if groups[dst] == nil {
+				order = append(order, dst)
+			}
+			groups[dst] = append(groups[dst], k)
 		}
 	}
-	for dst, ks := range groups {
+	for _, dst := range order {
 		_, next := spf.DijkstraToWithNext(g, dst, alive, cost)
-		for _, k := range ks {
+		for _, k := range groups[dst] {
 			if path := spf.PathVia(g, comms[k].Src, next); path != nil {
 				emit(k, path)
 			}

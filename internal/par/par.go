@@ -1,0 +1,305 @@
+// Package par is the repo's single concurrency substrate: a bounded
+// worker pool running index-addressed parallel loops whose results are
+// bit-identical to a serial execution, regardless of worker count or
+// goroutine scheduling.
+//
+// Determinism contract. Every construct here either (a) writes results
+// into caller-owned slots addressed by loop index (ForEach, ForEachChunk,
+// ForEachScratch), so scheduling cannot reorder anything observable, or
+// (b) reduces per-chunk partial values in ascending chunk order (Reduce).
+// Chunk grids are a pure function of the problem size — never of the
+// worker count — so a 1-worker pool and an N-worker pool associate
+// floating-point reductions identically. Callers keep the contract by
+// never accumulating across indices inside a parallel body; the Frank–
+// Wolfe solver in internal/core leans on this to make Workers=1 and
+// Workers=8 produce byte-identical plans.
+//
+// Panics inside a body are captured and re-raised on the caller's
+// goroutine (the panic from the lowest-indexed failing item wins, again
+// for determinism). Context cancellation is cooperative: ForEachCtx stops
+// handing out new items once the context is done.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded degree of parallelism. The zero value and nil both
+// behave as a serial pool; New(n) bounds concurrent body executions to n.
+// A Pool holds no goroutines between calls — workers are spawned per loop
+// and joined before the loop returns, so a Pool is freely shareable and
+// safe for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool bounded to workers concurrent body executions.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Serial is a 1-worker pool: every construct degenerates to a plain loop.
+var Serial = New(1)
+
+// Workers reports the pool's bound. A nil or zero pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return 1
+	}
+	return p.workers
+}
+
+// panicked carries a captured worker panic to the calling goroutine.
+type panicked struct {
+	index int
+	value any
+}
+
+func (p panicked) String() string {
+	return fmt.Sprintf("par: panic at index %d: %v", p.index, p.value)
+}
+
+// firstPanic tracks the lowest-index panic across workers.
+type firstPanic struct {
+	mu  sync.Mutex
+	set bool
+	p   panicked
+}
+
+func (f *firstPanic) record(index int, value any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.set || index < f.p.index {
+		f.set = true
+		f.p = panicked{index: index, value: value}
+	}
+}
+
+// rethrow re-raises the recorded panic value on the caller's goroutine.
+func (f *firstPanic) rethrow() {
+	if f.set {
+		panic(f.p.value)
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n), using up to Workers()
+// concurrent executions. fn must only write state owned by index i.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	ForEachScratch(p, n, func() struct{} { return struct{}{} }, func(i int, _ struct{}) { fn(i) })
+}
+
+// ForEachScratch is ForEach with a per-worker scratch value: newScratch
+// runs once per worker goroutine (once total in serial execution), and fn
+// may mutate the scratch freely — it is never shared between concurrent
+// executions. Scratch state must not leak information between items in a
+// way that affects results (buffers, not accumulators).
+func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s S)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		s := newScratch()
+		for i := 0; i < n; i++ {
+			fn(i, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var fp firstPanic
+	var wg sync.WaitGroup
+	body := func(i int, s S) {
+		defer func() {
+			if r := recover(); r != nil {
+				fp.record(i, r)
+			}
+		}()
+		fn(i, s)
+	}
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newScratch()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				body(i, s)
+			}
+		}()
+	}
+	wg.Wait()
+	fp.rethrow()
+}
+
+// ChunkSize returns the fixed chunk width used by ForEachChunk and Reduce
+// for a loop of n items. It depends only on n — never on the worker
+// count — so the chunk grid (and therefore any per-chunk floating-point
+// association) is identical for every pool.
+func ChunkSize(n int) int {
+	// Aim for a fixed ~32-way grid: fine enough to balance 8–16 workers,
+	// coarse enough that dispatch cost stays negligible.
+	c := (n + 31) / 32
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// NumChunks reports how many chunks ForEachChunk and Reduce split n items
+// into.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := ChunkSize(n)
+	return (n + c - 1) / c
+}
+
+// Chunk returns the half-open index range [lo, hi) of chunk ci in the
+// fixed grid over [0, n). Useful when a caller flattens several
+// dimensions into one task index and needs the bounds back.
+func Chunk(n, ci int) (lo, hi int) {
+	c := ChunkSize(n)
+	lo = ci * c
+	hi = lo + c
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForEachChunk splits [0, n) into the fixed grid of ChunkSize(n)-wide
+// chunks and runs fn(lo, hi) for each chunk. fn must only write state
+// owned by indices in [lo, hi).
+func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	c := ChunkSize(n)
+	p.ForEach(NumChunks(n), func(ci int) {
+		lo := ci * c
+		hi := lo + c
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// ForEachChunkScratch is ForEachChunk with a per-worker scratch value.
+func ForEachChunkScratch[S any](p *Pool, n int, newScratch func() S, fn func(lo, hi int, s S)) {
+	if n <= 0 {
+		return
+	}
+	c := ChunkSize(n)
+	ForEachScratch(p, NumChunks(n), newScratch, func(ci int, s S) {
+		lo := ci * c
+		hi := lo + c
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi, s)
+	})
+}
+
+// Reduce maps each chunk of the fixed grid over [0, n) to a partial value
+// and folds the partials in ascending chunk order: the result is
+// init ⊕ map(chunk 0) ⊕ map(chunk 1) ⊕ … with a deterministic
+// association, independent of worker count and scheduling.
+func Reduce[A any](p *Pool, n int, init A, mapFn func(lo, hi int) A, mergeFn func(into, next A) A) A {
+	if n <= 0 {
+		return init
+	}
+	parts := make([]A, NumChunks(n))
+	p.ForEachChunk(n, func(lo, hi int) {
+		parts[lo/ChunkSize(n)] = mapFn(lo, hi)
+	})
+	acc := init
+	for _, part := range parts {
+		acc = mergeFn(acc, part)
+	}
+	return acc
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no new items are started and the context error is returned. fn errors
+// abort the loop the same way; among concurrent failures the error of the
+// lowest-indexed item wins. Items already running when the first error or
+// cancellation lands still complete.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var (
+		errMu    sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	record := func(i int, err error) {
+		errMu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		errMu.Unlock()
+	}
+	stopped := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	var fp firstPanic
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					record(int(next.Load())+1, err)
+					return
+				}
+				if stopped() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fp.record(i, r)
+						}
+					}()
+					if err := fn(i); err != nil {
+						record(i, err)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	fp.rethrow()
+	return firstErr
+}

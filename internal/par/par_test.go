@@ -1,0 +1,214 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		p := New(w)
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]int32, n)
+			p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersBound(t *testing.T) {
+	if got := New(0).Workers(); got < 1 {
+		t.Fatalf("New(0).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d", got)
+	}
+	// A nil pool must still run loops, serially.
+	sum := 0
+	nilPool.ForEach(10, func(i int) { sum += i })
+	if sum != 45 {
+		t.Fatalf("nil pool ForEach sum = %d", sum)
+	}
+}
+
+func TestConcurrencyIsBounded(t *testing.T) {
+	p := New(3)
+	var cur, peak int32
+	p.ForEach(100, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if c <= old || atomic.CompareAndSwapInt32(&peak, old, c) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 3 {
+		t.Fatalf("observed %d concurrent executions, bound 3", peak)
+	}
+}
+
+func TestForEachScratchIsPerWorker(t *testing.T) {
+	p := New(4)
+	var created int32
+	out := make([]int, 200)
+	ForEachScratch(p, 200, func() *[]int {
+		atomic.AddInt32(&created, 1)
+		buf := make([]int, 1)
+		return &buf
+	}, func(i int, s *[]int) {
+		(*s)[0] = i // scratch is exclusively ours for this item
+		out[i] = (*s)[0] * 2
+	})
+	if created > 4 {
+		t.Fatalf("scratch created %d times for 4 workers", created)
+	}
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestChunkGridIsWorkerIndependent(t *testing.T) {
+	for _, n := range []int{1, 5, 31, 32, 33, 460, 10000} {
+		c := ChunkSize(n)
+		if c < 1 {
+			t.Fatalf("ChunkSize(%d) = %d", n, c)
+		}
+		if NumChunks(n)*c < n || (NumChunks(n)-1)*c >= n {
+			t.Fatalf("n=%d: %d chunks of %d do not tile [0,n)", n, NumChunks(n), c)
+		}
+	}
+	// The grid handed to ForEachChunk must be identical for every pool.
+	for _, n := range []int{17, 460} {
+		ref := [][2]int{}
+		Serial.ForEachChunk(n, func(lo, hi int) { ref = append(ref, [2]int{lo, hi}) })
+		got := make(map[[2]int]bool)
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		New(8).ForEachChunk(n, func(lo, hi int) {
+			<-mu
+			got[[2]int{lo, hi}] = true
+			mu <- struct{}{}
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("n=%d: %d chunks parallel vs %d serial", n, len(got), len(ref))
+		}
+		for _, ch := range ref {
+			if !got[ch] {
+				t.Fatalf("n=%d: chunk %v missing under 8 workers", n, ch)
+			}
+		}
+	}
+}
+
+// TestReduceBitIdentical is the determinism keystone: summing values whose
+// magnitudes differ wildly is association-sensitive, so a scheduling-
+// dependent reduction order would flip low bits. Reduce must produce the
+// exact same float for every worker count, every time.
+func TestReduceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = math.Exp(40 * (rng.Float64() - 0.5))
+	}
+	sum := func(p *Pool) float64 {
+		return Reduce(p, len(vals), 0.0,
+			func(lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(a, b float64) float64 { return a + b })
+	}
+	ref := sum(Serial)
+	for _, w := range []int{2, 3, 8, 16} {
+		p := New(w)
+		for trial := 0; trial < 20; trial++ {
+			if got := sum(p); math.Float64bits(got) != math.Float64bits(ref) {
+				t.Fatalf("workers=%d trial %d: %x != %x", w, trial, math.Float64bits(got), math.Float64bits(ref))
+			}
+		}
+	}
+}
+
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	p := New(8)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if fmt.Sprint(r) != "boom 3" {
+			t.Fatalf("expected lowest-index panic, got %v", r)
+		}
+	}()
+	p.ForEach(100, func(i int) {
+		if i == 3 || i == 60 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+	})
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := p.ForEachCtx(ctx, 10000, func(i int) error {
+		if atomic.AddInt32(&ran, 1) == 8 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&ran); n > 9000 {
+		t.Fatalf("cancellation did not stop the loop: %d items ran", n)
+	}
+}
+
+func TestForEachCtxFirstErrorWins(t *testing.T) {
+	p := New(8)
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 10; trial++ {
+		err := p.ForEachCtx(context.Background(), 200, func(i int) error {
+			switch i {
+			case 5:
+				return errLow
+			case 150:
+				return errHigh
+			}
+			return nil
+		})
+		// 150 may never run once 5 fails; either way the reported error
+		// must be the lowest-indexed one actually recorded.
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if errors.Is(err, errHigh) {
+			t.Fatalf("trial %d: high-index error beat low-index error", trial)
+		}
+	}
+}

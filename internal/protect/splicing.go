@@ -2,6 +2,7 @@ package protect
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/graph"
@@ -110,7 +111,20 @@ func (s *PathSplicing) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64
 		flow := map[spliceState]float64{{a, 0}: vol}
 		for hop := 0; hop < maxHops && len(flow) > 0; hop++ {
 			next := make(map[spliceState]float64, len(flow))
-			for st, f := range flow {
+			// Visit states in a fixed order: loads[nh] += f sums floats,
+			// so map iteration order would leak into the result bits.
+			states := make([]spliceState, 0, len(flow))
+			for st := range flow {
+				states = append(states, st)
+			}
+			sort.Slice(states, func(i, j int) bool {
+				if states[i].node != states[j].node {
+					return states[i].node < states[j].node
+				}
+				return states[i].slice < states[j].slice
+			})
+			for _, st := range states {
+				f := flow[st]
 				if f <= eps {
 					continue
 				}
@@ -148,8 +162,19 @@ func (s *PathSplicing) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64
 		}
 		// Flow still circulating after the hop budget is counted as lost
 		// (persistent forwarding loops drop at TTL expiry in practice).
-		for _, f := range flow {
-			if f > eps {
+		// Sorted for the same bit-reproducibility reason as above.
+		rest := make([]spliceState, 0, len(flow))
+		for st := range flow {
+			rest = append(rest, st)
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].node != rest[j].node {
+				return rest[i].node < rest[j].node
+			}
+			return rest[i].slice < rest[j].slice
+		})
+		for _, st := range rest {
+			if f := flow[st]; f > eps {
 				lost += f
 			}
 		}
