@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -20,11 +21,23 @@ func main() {
 		mbps   = flag.Float64("mbps", 220, "aggregate offered traffic")
 		effort = flag.Int("effort", 120, "R3 precompute effort")
 		seed   = flag.Int64("seed", 1, "packet jitter seed")
+
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
+		traceOut  = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
+		verbose   = flag.Bool("v", false, "info-level logging")
 	)
 	flag.Parse()
 
+	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "r3emu:", err)
+		os.Exit(1)
+	}
+	defer obsCleanup()
+
 	cfg := exp.EmulationConfig{
 		PhaseSeconds: *phase, TotalMbps: *mbps, Effort: *effort, Seed: *seed,
+		Obs: reg,
 	}
 	switch *fig {
 	case "11":

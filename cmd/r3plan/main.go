@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -40,11 +41,20 @@ func main() {
 		detours   = flag.Bool("detours", false, "print detours for the failed links")
 		verify    = flag.Int("verify", 0, "audit the plan by enumerating failure sets of up to N links")
 		verifyCap = flag.Int("verifycap", 20000, "max scenarios for -verify (0 = unlimited)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
+		traceOut  = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
+		verbose   = flag.Bool("v", false, "info-level logging")
 	)
 	flag.Parse()
 
+	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsCleanup()
+
 	var g *graph.Graph
-	var err error
 	if *file != "" {
 		r, ferr := os.Open(*file)
 		if ferr != nil {
@@ -92,6 +102,7 @@ func main() {
 			Iterations:      *effort,
 			PenaltyEnvelope: *envelope,
 			Workers:         *workers,
+			Obs:             reg,
 		})
 		if err != nil {
 			fatal(err)

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,8 +35,18 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		quick     = flag.Bool("quick", false, "reduced-scale smoke run")
 		outFile   = flag.String("o", "", "write output to this file instead of stdout")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
+		traceOut  = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
+		verbose   = flag.Bool("v", false, "info-level logging")
 	)
 	flag.Parse()
+
+	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "r3sim:", err)
+		os.Exit(1)
+	}
+	defer obsCleanup()
 
 	o := exp.Options{
 		Effort: *effort, OptIter: *optIter, MaxScenarios: *scenarios,
@@ -44,6 +55,7 @@ func main() {
 	if *quick {
 		o = exp.Quick()
 	}
+	o.Obs = reg
 	w := io.Writer(os.Stdout)
 	if *outFile != "" {
 		f, err := os.Create(*outFile)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// TestObsDoesNotPerturbPlan is the observability determinism contract:
+// precomputing with a live registry must yield a byte-identical plan to
+// precomputing with none, for both solvers — instrumentation only reads
+// solver state.
+func TestObsDoesNotPerturbPlan(t *testing.T) {
+	mesh := mesh6(t)
+	ring := ring5(t)
+	for _, solver := range []struct {
+		name string
+		g    *graph.Graph
+		d    *traffic.Matrix
+		cfg  Config
+	}{
+		{"fw", mesh, traffic.Gravity(mesh, 40, 11), Config{Model: ArbitraryFailures{F: 1}, Iterations: 40}},
+		{"lp", ring, ring5Demand(ring, 20), Config{Model: ArbitraryFailures{F: 1}, Solver: SolverLP}},
+	} {
+		t.Run(solver.name, func(t *testing.T) {
+			bare := encodePlan(t, precomputeAt(t, solver.g, solver.d, solver.cfg, 4))
+			cfg := solver.cfg
+			cfg.Obs = obs.NewRegistry()
+			instrumented := encodePlan(t, precomputeAt(t, solver.g, solver.d, cfg, 4))
+			if !bytes.Equal(bare, instrumented) {
+				t.Fatal("plan bytes differ with a live registry attached")
+			}
+		})
+	}
+}
+
+// TestObsFWRecordsSolverProgress checks the substance of the FW
+// instrumentation: epoch/SPF counters advance, the final MLU gauge equals
+// the plan's, and the span tree holds one fw.run root whose epoch children
+// match the epoch counter.
+func TestObsFWRecordsSolverProgress(t *testing.T) {
+	g := mesh6(t)
+	d := traffic.Gravity(g, 40, 11)
+	reg := obs.NewRegistry()
+	plan, err := Precompute(g, d, Config{
+		Model: ArbitraryFailures{F: 1}, Iterations: 30, Workers: 2, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	epochs := snap.Counters["fw.epochs"]
+	if epochs == 0 {
+		t.Fatal("fw.epochs never advanced")
+	}
+	if snap.Counters["fw.spf"] == 0 {
+		t.Fatal("fw.spf never advanced")
+	}
+	if got := snap.FloatGauges["fw.mlu"]; got != plan.MLU {
+		t.Fatalf("fw.mlu gauge = %v, plan MLU = %v", got, plan.MLU)
+	}
+	roots := snap.Traces["fw"]
+	if len(roots) != 1 || roots[0].Name != "fw.run" {
+		t.Fatalf("fw trace roots = %+v, want one fw.run", roots)
+	}
+	var epochSpans int64
+	for _, c := range roots[0].Children {
+		if c.Name == "epoch" {
+			epochSpans++
+		}
+	}
+	if epochSpans != epochs {
+		t.Fatalf("trace has %d epoch spans, counter says %d", epochSpans, epochs)
+	}
+	// Pool gauges are registered and sampled at snapshot time; after the
+	// run the queue must be drained.
+	if pending, ok := snap.Gauges["fw.pool_pending"]; !ok || pending != 0 {
+		t.Fatalf("fw.pool_pending = %d (present=%v), want 0 after the run", pending, ok)
+	}
+	if snap.Gauges["fw.pool_items"] == 0 {
+		t.Fatal("fw.pool_items = 0, want the run's parallel loop items")
+	}
+}
+
+// TestObsLPRecordsSolveCounters checks the LP instrumentation path end to
+// end through Precompute with the exact solver.
+func TestObsLPRecordsSolveCounters(t *testing.T) {
+	g := ring5(t)
+	d := ring5Demand(g, 20)
+	reg := obs.NewRegistry()
+	if _, err := Precompute(g, d, Config{
+		Model: ArbitraryFailures{F: 1}, Solver: SolverLP, Obs: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["lp.solves"] == 0 {
+		t.Fatal("lp.solves never advanced")
+	}
+	if snap.Counters["lp.pivots"] == 0 {
+		t.Fatal("lp.pivots never advanced")
+	}
+	if snap.Vecs["lp.status"]["optimal"] != snap.Counters["lp.solves"] {
+		t.Fatalf("lp.status = %v, want all %d solves optimal", snap.Vecs["lp.status"], snap.Counters["lp.solves"])
+	}
+}

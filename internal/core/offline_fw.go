@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/routing"
 	"repro/internal/spf"
@@ -54,6 +55,12 @@ type Config struct {
 	// worker count — Workers trades only wall-clock time. The LP solver
 	// ignores it.
 	Workers int
+	// Obs, when non-nil, receives solver metrics and traces: per-epoch
+	// MLU/step-size spans under trace "fw", SPF and epoch counters, LP
+	// pivot counts, and worker-pool gauges. Instrumentation never affects
+	// the produced plan — plans are byte-identical with Obs nil or live —
+	// and costs nothing when Obs is nil (all handles no-op).
+	Obs *obs.Registry
 	// DelayEnvelope, when >= 1, bounds each OD pair's mean propagation
 	// delay to DelayEnvelope × its shortest-path delay (paper §3.5). The
 	// LP solver enforces it exactly; the FW solver starts from minimum-
@@ -289,6 +296,13 @@ func solveFW(g *graph.Graph, comms []routing.Commodity, reqs []requirement, cfg 
 		R: R, P: P, delayCap: delayCap,
 		optimizeBase: optimizeBase,
 		pool:         par.New(cfg.Workers),
+		o:            newFWObs(cfg.Obs),
+	}
+	if cfg.Obs != nil {
+		pool := st.pool
+		cfg.Obs.GaugeFunc("fw.pool_pending", pool.Pending)
+		cfg.Obs.GaugeFunc("fw.pool_loops", func() int64 { loops, _ := pool.Stats(); return loops })
+		cfg.Obs.GaugeFunc("fw.pool_items", func() int64 { _, items := pool.Stats(); return items })
 	}
 	st.run(iters)
 
@@ -308,6 +322,9 @@ func solveFW(g *graph.Graph, comms []routing.Commodity, reqs []requirement, cfg 
 		MLU:   st.objective(),
 	}
 	plan.NormalMLU = routing.MLU(g, base.Loads())
+	// The epoch loop tracked the running objective; settle the gauge on
+	// the restored-best plan value.
+	st.o.mlu.Set(plan.MLU)
 	return plan, nil
 }
 
@@ -321,6 +338,30 @@ func highestModelIndex(reqs []requirement) int {
 	return bi
 }
 
+// fwObs bundles the solver's metric handles. The zero value (all nil) is
+// the uninstrumented configuration: every call is a nil-receiver no-op,
+// so the solver code reports unconditionally.
+type fwObs struct {
+	spf    *obs.Counter    // Dijkstra invocations in the solver loop
+	epochs *obs.Counter    // completed FW epochs
+	mlu    *obs.FloatGauge // latest true objective
+	step   *obs.FloatGauge // latest accepted global step size
+	trace  *obs.Trace      // span tree: fw.run > epoch > {directions, global-step, r-sweep, p-sweep}
+}
+
+func newFWObs(reg *obs.Registry) fwObs {
+	if reg == nil {
+		return fwObs{}
+	}
+	return fwObs{
+		spf:    reg.Counter("fw.spf"),
+		epochs: reg.Counter("fw.epochs"),
+		mlu:    reg.FloatGauge("fw.mlu"),
+		step:   reg.FloatGauge("fw.step"),
+		trace:  reg.Trace("fw"),
+	}
+}
+
 // fwState carries the Frank–Wolfe iterate.
 type fwState struct {
 	g            *graph.Graph
@@ -332,6 +373,7 @@ type fwState struct {
 	delayCap     []float64   // nil when no delay envelope
 	optimizeBase bool
 	pool         *par.Pool
+	o            fwObs
 
 	// best-so-far snapshot by true objective
 	bestObj float64
@@ -542,12 +584,16 @@ func (s *fwState) run(effort int) {
 
 	obj := trueObj()
 	s.snapshotBest(obj)
+	s.o.mlu.Set(obj)
+	runSp := s.o.trace.Start("fw.run")
+	defer runSp.End()
 
 	for epoch := 0; epoch < epochs; epoch++ {
 		mu := math.Max(obj*0.002, obj*0.05*math.Pow(0.8, float64(epoch)))
 		if obj == 0 {
 			break
 		}
+		epochSp := runSp.Child("epoch")
 
 		// ---- Softmax gradient weights ----
 		// The exp fill is slot-parallel; the normalizing sum stays serial
@@ -578,18 +624,24 @@ func (s *fwState) run(effort int) {
 		}
 
 		// ---- Oracle directions ----
+		dirSp := epochSp.Child("directions")
 		var rPaths [][]graph.LinkID
 		if s.optimizeBase {
 			rPaths = s.rDirections(q)
 		}
 		pPaths := s.pDirections(q)
+		dirSp.End()
 
 		// ---- Global step ----
-		s.globalStep(loads, W, q, rPaths, pPaths, mu)
+		gsSp := epochSp.Child("global-step")
+		gamma := s.globalStep(loads, W, q, rPaths, pPaths, mu)
+		gsSp.End()
+		s.o.step.Set(gamma)
 		recomputeW()
 		copyLoads(loads, s.baseLoads(s.R))
 
 		// ---- r block sweep ----
+		rSweepSp := epochSp.Child("r-sweep")
 		if s.optimizeBase {
 			for k := range s.comms {
 				path := rPaths[k]
@@ -642,8 +694,10 @@ func (s *fwState) run(effort int) {
 				}
 			}
 		}
+		rSweepSp.End()
 
 		// ---- p block sweep ----
+		pSweepSp := epochSp.Child("p-sweep")
 		for l := 0; l < nL; l++ {
 			path := pPaths[l]
 			if path == nil {
@@ -764,18 +818,27 @@ func (s *fwState) run(effort int) {
 			}
 		}
 
+		pSweepSp.End()
+
 		obj = trueObj()
 		if obj < s.bestObj {
 			s.snapshotBest(obj)
 		}
+		s.o.mlu.Set(obj)
+		s.o.epochs.Inc()
+		epochSp.SetFloat("mlu", obj)
+		epochSp.SetFloat("step", gamma)
+		epochSp.SetFloat("mu", mu)
+		epochSp.End()
 	}
 	s.restoreBest()
 }
 
 // globalStep moves every commodity toward its oracle path simultaneously
 // with one shared line-searched step on the smoothed objective. It mutates
-// s.R, s.P and s.pcol (the caller refreshes loads and W).
-func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths [][]graph.LinkID, mu float64) {
+// s.R, s.P and s.pcol (the caller refreshes loads and W) and returns the
+// accepted step size (0 when the line search rejects the direction).
+func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths [][]graph.LinkID, mu float64) float64 {
 	nL := s.g.NumLinks()
 	nI := len(s.reqs)
 	_ = W
@@ -841,7 +904,7 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 	}
 	gamma := ternaryMin(eval, 14)
 	if gamma <= 1e-9 || eval(gamma) >= eval(0)-1e-15 {
-		return
+		return 0
 	}
 	s.pool.ForEach(len(s.comms), func(k int) {
 		rk, dk := s.R[k], dirR[k]
@@ -856,6 +919,7 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 		}
 	})
 	s.pcol = s.columns(s.P, s.pcol)
+	return gamma
 }
 
 // pDirections computes the oracle path per protected link from the active
@@ -894,6 +958,7 @@ func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 		link := s.g.Link(graph.LinkID(l))
 		costFn := func(id graph.LinkID) float64 { return costP[l][id] + 1e-12 }
 		_, next := spf.DijkstraToWithNext(s.g, link.Dst, nil, costFn)
+		s.o.spf.Inc()
 		paths[l] = spf.PathVia(s.g, link.Src, next)
 	})
 	return paths
@@ -949,6 +1014,7 @@ func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
 		s.pool.ForEach(len(dsts), func(di int) {
 			dst := dsts[di]
 			_, next := spf.DijkstraToWithNext(s.g, dst, nil, costFn)
+			s.o.spf.Inc()
 			for _, k := range groups[dst] {
 				paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
 			}
@@ -971,6 +1037,7 @@ func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
 		}
 		costFn := func(id graph.LinkID) float64 { return cost[id] }
 		_, next := spf.DijkstraToWithNext(s.g, s.comms[k].Dst, nil, costFn)
+		s.o.spf.Inc()
 		paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
 	})
 	return paths
@@ -1034,6 +1101,7 @@ func pathDelay(g *graph.Graph, path []graph.LinkID) float64 {
 // the minimum-delay path.
 func (s *fwState) delayBoundedPath(src, dst graph.NodeID, costFn spf.Cost, bound float64) []graph.LinkID {
 	delay := spf.DelayCost(s.g)
+	s.o.spf.Inc()
 	minDelayPath := spf.ShortestPath(s.g, src, dst, nil, delay)
 	if minDelayPath == nil || pathDelay(s.g, minDelayPath) > bound+1e-9 {
 		return minDelayPath
@@ -1044,6 +1112,7 @@ func (s *fwState) delayBoundedPath(src, dst graph.NodeID, costFn spf.Cost, bound
 	for t := 0; t < 12; t++ {
 		theta := (lo + hi) / 2
 		combined := func(id graph.LinkID) float64 { return costFn(id) + theta*delay(id) }
+		s.o.spf.Inc()
 		p := spf.ShortestPath(s.g, src, dst, nil, combined)
 		if p == nil {
 			break

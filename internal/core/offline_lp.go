@@ -26,6 +26,7 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 	comms := routing.ODCommodities(g.NumNodes(), d.At)
 
 	prob := lp.NewProblem()
+	prob.Obs = cfg.Obs
 	mluVar := prob.AddVariable("MLU", 1)
 
 	// r variables (skipped when the base routing is fixed). rVar[k][e] =

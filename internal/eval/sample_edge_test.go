@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSampleEdgeCases pins down the degenerate inputs: out-of-range k
+// returns nil (not a panic or a partial draw), n=0 asks for nothing, and a
+// negative seed is just another seed — deterministic and well-formed.
+func TestSampleEdgeCases(t *testing.T) {
+	events := make([]graph.LinkSet, 6)
+	for i := range events {
+		events[i] = graph.NewLinkSet(graph.LinkID(i))
+	}
+	cases := []struct {
+		name      string
+		events    []graph.LinkSet
+		k, n      int
+		seed      int64
+		wantLen   int
+		wantNil   bool
+		checkSets bool
+	}{
+		{name: "k zero", events: events, k: 0, n: 5, seed: 1, wantNil: true},
+		{name: "k negative", events: events, k: -3, n: 5, seed: 1, wantNil: true},
+		{name: "k exceeds events", events: events, k: 7, n: 5, seed: 1, wantNil: true},
+		{name: "k equals events", events: events, k: 6, n: 1, seed: 1, wantLen: 1, checkSets: true},
+		{name: "n zero", events: events, k: 2, n: 0, seed: 1, wantNil: true},
+		{name: "n negative", events: events, k: 2, n: -1, seed: 1, wantNil: true},
+		{name: "negative seed", events: events, k: 2, n: 4, seed: -99, wantLen: 4, checkSets: true},
+		{name: "empty events", events: nil, k: 1, n: 3, seed: 1, wantNil: true},
+		{name: "n exceeds distinct subsets", events: events[:3], k: 2, n: 100, seed: 7, wantLen: 3, checkSets: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Sample(tc.events, tc.k, tc.n, tc.seed)
+			if tc.wantNil {
+				if got != nil {
+					t.Fatalf("Sample(k=%d, n=%d) = %d scenarios, want nil", tc.k, tc.n, len(got))
+				}
+				return
+			}
+			if len(got) != tc.wantLen {
+				t.Fatalf("Sample(k=%d, n=%d) returned %d scenarios, want %d", tc.k, tc.n, len(got), tc.wantLen)
+			}
+			if !tc.checkSets {
+				return
+			}
+			seen := make(map[string]bool)
+			for _, s := range got {
+				if s.Len() != tc.k {
+					t.Fatalf("scenario %v has %d links, want %d", s, s.Len(), tc.k)
+				}
+				if key := s.String(); seen[key] {
+					t.Fatalf("duplicate scenario %v", s)
+				} else {
+					seen[key] = true
+				}
+			}
+			// Determinism: the same seed reproduces the same draw.
+			again := Sample(tc.events, tc.k, tc.n, tc.seed)
+			for i := range got {
+				if !got[i].Equal(again[i]) {
+					t.Fatalf("redraw diverged at %d: %v vs %v", i, got[i], again[i])
+				}
+			}
+		})
+	}
+}

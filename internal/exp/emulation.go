@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -27,6 +28,8 @@ type EmulationConfig struct {
 	Effort int
 	// Seed drives packet arrival jitter.
 	Seed int64
+	// Obs, when non-nil, receives precompute and emulator metrics.
+	Obs *obs.Registry
 }
 
 func (c *EmulationConfig) defaults() {
@@ -85,7 +88,7 @@ func RunEmulation(forwarder string, cfg EmulationConfig) *EmulationResult {
 	case "MPLS-ff+R3":
 		plan, err := core.Precompute(g, d, core.Config{
 			Model: core.ArbitraryFailures{F: 3}, Iterations: cfg.Effort,
-			PenaltyEnvelope: 1.1,
+			PenaltyEnvelope: 1.1, Obs: cfg.Obs,
 		})
 		if err != nil {
 			panic(err)
@@ -102,6 +105,7 @@ func RunEmulation(forwarder string, cfg EmulationConfig) *EmulationResult {
 
 	em := netem.New(netem.Config{
 		G: g, Forwarder: fw, Seed: cfg.Seed, ConvergeDelay: converge,
+		Obs: cfg.Obs,
 	})
 	stop := 4 * cfg.PhaseSeconds
 	d.Pairs(func(a, b graph.NodeID, mbps float64) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/routing"
 	"repro/internal/spf"
@@ -46,6 +47,11 @@ type Options struct {
 	// GOMAXPROCS; 1 forces serial). Plans are bit-identical for every
 	// worker count, so Workers is purely a speed knob.
 	Workers int
+	// Obs, when non-nil, threads the observability registry through the
+	// drivers: FW/LP precompute counters and traces, and the evaluation
+	// engine's per-scenario metrics all land in it. Purely passive —
+	// results are identical with or without it.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +107,7 @@ func r3Plan(g *graph.Graph, d *traffic.Matrix, f int, o Options) *core.Plan {
 		Iterations:      o.Effort,
 		PenaltyEnvelope: envelopeOf(o),
 		Workers:         o.Workers,
+		Obs:             o.Obs,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: precompute %s: %v", g.Name, err))

@@ -22,7 +22,7 @@ func usispSchemes(w *USISPWorkload, day []*traffic.Matrix, k int, o Options) (*g
 
 	mplsPlan, err := core.Precompute(g, env, core.Config{
 		Model: model, Iterations: o.Effort, PenaltyEnvelope: envelopeOf(o),
-		Workers: o.Workers,
+		Workers: o.Workers, Obs: o.Obs,
 	})
 	if err != nil {
 		panic(err)
@@ -59,7 +59,7 @@ func Figure3(w *USISPWorkload, dayIdx int, o Options) *Figure3Result {
 	day := w.Day(dayIdx)
 	g, schemes := usispSchemes(w, day, 1, o)
 	events := eval.SingleEvents(g)
-	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers}
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers, Obs: o.Obs}
 
 	// Normalization constant: highest no-failure optimal bottleneck.
 	norm := 0.0
@@ -119,7 +119,7 @@ func Figure4(w *USISPWorkload, o Options) *Figure4Result {
 		dayTMs := w.Day(day)
 		g, schemes := usispSchemes(w, dayTMs, 1, o)
 		events := eval.SingleEvents(g)
-		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers}
+		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers, Obs: o.Obs}
 		for _, d := range dayTMs {
 			results := en.Evaluate(d, events)
 			worst := eval.WorstCase(results)
@@ -186,7 +186,7 @@ func (r *MultiFailureResult) Print(w io.Writer) {
 // multiFailure evaluates sorted performance ratios for scenarios built
 // from base events.
 func multiFailure(title string, g *graph.Graph, schemes []protect.Scheme, d *traffic.Matrix, scenarios []graph.LinkSet, o Options) *MultiFailureResult {
-	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers}
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, Workers: o.Workers, Obs: o.Obs}
 	results := en.Evaluate(d, scenarios)
 	res := &MultiFailureResult{Title: title, Schemes: schemeNames(schemes)}
 	for _, name := range res.Schemes {
@@ -399,7 +399,7 @@ func ospfR3PlanModel(g *graph.Graph, d *traffic.Matrix, model core.FailureModel,
 	base := ecmpFlow(g, comms)
 	plan, err := core.Precompute(g, d, core.Config{
 		Model: model, BaseRouting: base, Iterations: o.Effort,
-		Workers: o.Workers,
+		Workers: o.Workers, Obs: o.Obs,
 	})
 	if err != nil {
 		panic(err)

@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Op is a constraint comparison operator.
@@ -80,6 +82,12 @@ type Problem struct {
 	cons  []constraint
 	// MaxIter overrides the default pivot limit when nonzero.
 	MaxIter int
+	// Obs, when non-nil, receives solver counters under the "lp." prefix:
+	// solves, pivots (simplex iterations across both phases), basis
+	// repairs (artificials driven out or redundant rows zeroed after
+	// phase 1 — the dense tableau's stand-in for a refactorization), and
+	// terminal statuses. Nil costs nothing.
+	Obs *obs.Registry
 }
 
 // NewProblem returns an empty problem.
@@ -116,6 +124,12 @@ type Solution struct {
 	X []float64
 	// Iterations is the number of simplex pivots performed.
 	Iterations int
+	// BasisRepairs counts post-phase-1 basis surgery: artificial
+	// variables pivoted out of the basis plus redundant rows zeroed. On a
+	// dense never-refactorized tableau these repairs are the only basis
+	// maintenance performed, so the count is the solver's
+	// "refactorization" telemetry.
+	BasisRepairs int
 }
 
 const (
@@ -126,6 +140,17 @@ const (
 // Solve runs the two-phase simplex and returns the solution. It never
 // mutates the problem, so a Problem can be re-solved after modification.
 func (p *Problem) Solve() (*Solution, error) {
+	sol, err := p.solve()
+	if reg := p.Obs; reg != nil && sol != nil {
+		reg.Counter("lp.solves").Inc()
+		reg.Counter("lp.pivots").Add(int64(sol.Iterations))
+		reg.Counter("lp.basis_repairs").Add(int64(sol.BasisRepairs))
+		reg.Vec("lp.status", 4, func(i int) string { return Status(i).String() }).Add(int(sol.Status), 1)
+	}
+	return sol, err
+}
+
+func (p *Problem) solve() (*Solution, error) {
 	n := len(p.cost)
 	m := len(p.cons)
 	if n == 0 {
@@ -248,6 +273,7 @@ func (p *Problem) Solve() (*Solution, error) {
 				if math.Abs(tab[i][j]) > tolPivot {
 					pivot(tab, basis, nil, i, j, total)
 					pivoted = true
+					sol.BasisRepairs++
 					break
 				}
 			}
@@ -257,6 +283,7 @@ func (p *Problem) Solve() (*Solution, error) {
 					tab[i][j] = 0
 				}
 				basis[i] = -1
+				sol.BasisRepairs++
 			}
 		}
 	}

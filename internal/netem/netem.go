@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mplsff"
+	"repro/internal/obs"
 )
 
 // Packet is one emulated packet.
@@ -99,6 +100,13 @@ type Config struct {
 	FlowsPerPair int
 	// Seed drives packet arrival jitter.
 	Seed int64
+	// Obs, when non-nil, receives emulator counters prefixed
+	// "netem.<forwarder>." (forwarded/dropped/delivered data packets and
+	// ctrl_packets for the notification flood) plus the
+	// "netem.reconfig_us" histogram of reconfiguration latency in emulated
+	// microseconds: failure instant to network-wide convergence — last
+	// router notified on the flood path, ApplyFailure on the global path.
+	Obs *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -160,6 +168,14 @@ type Emulator struct {
 	CtrlBytes int64
 
 	maxHops int
+
+	// Metric handles; nil (no-op) when Config.Obs is nil.
+	obsFwd, obsDrop, obsDeliv, obsCtrl *obs.Counter
+	reconfigUS                         *obs.Histogram
+	// Reconfiguration-latency tracking per failed link: failure instant
+	// and, on the flood path, how many routers have been notified so far.
+	failedAt map[graph.LinkID]float64
+	notified map[graph.LinkID]int
 }
 
 // New builds an emulator.
@@ -177,6 +193,20 @@ func New(cfg Config) *Emulator {
 	}
 	em.linkFree = make([]float64, cfg.G.NumLinks())
 	em.notifSeen = make([]graph.LinkSet, cfg.G.NumNodes())
+	name := "fwd"
+	if cfg.Forwarder != nil {
+		name = cfg.Forwarder.Name()
+	}
+	prefix := "netem." + name + "."
+	em.obsFwd = cfg.Obs.Counter(prefix + "forwarded")
+	em.obsDrop = cfg.Obs.Counter(prefix + "dropped")
+	em.obsDeliv = cfg.Obs.Counter(prefix + "delivered")
+	em.obsCtrl = cfg.Obs.Counter(prefix + "ctrl_packets")
+	// Emulated reconfiguration latencies range from sub-millisecond LAN
+	// floods to multi-second OSPF timers: 1 µs .. ~67 s exponential grid.
+	em.reconfigUS = cfg.Obs.Histogram("netem.reconfig_us", obs.ExpBounds(1, 2, 26))
+	em.failedAt = make(map[graph.LinkID]float64)
+	em.notified = make(map[graph.LinkID]int)
 	em.cur = em.newPhase(0)
 	return em
 }
@@ -264,6 +294,7 @@ func (em *Emulator) FailAt(t float64, e graph.LinkID) {
 		}
 		for _, id := range ids {
 			em.linkUp[id] = false
+			em.failedAt[id] = em.now
 		}
 		em.cur.End = em.now
 		em.cur = em.newPhase(em.now)
@@ -283,6 +314,10 @@ func (em *Emulator) FailAt(t float64, e graph.LinkID) {
 		em.schedule(em.now+delay, func() {
 			for _, id := range ids {
 				em.cfg.Forwarder.ApplyFailure(id)
+				if t, ok := em.failedAt[id]; ok {
+					em.reconfigUS.Observe(int64((em.now - t) * 1e6))
+					delete(em.failedAt, id)
+				}
 			}
 		})
 	})
@@ -296,6 +331,15 @@ func (em *Emulator) notify(fa FloodAware, u graph.NodeID, e graph.LinkID) {
 	}
 	em.notifSeen[u].Add(e)
 	fa.OnNotification(u, e)
+	if t, ok := em.failedAt[e]; ok {
+		em.notified[e]++
+		// Convergence on the flood path: the last router has reconfigured.
+		if em.notified[e] == em.g.NumNodes() {
+			em.reconfigUS.Observe(int64((em.now - t) * 1e6))
+			delete(em.failedAt, e)
+			delete(em.notified, e)
+		}
+	}
 	for _, id := range em.g.Out(u) {
 		if !em.linkUp[id] {
 			continue
@@ -317,6 +361,7 @@ func (em *Emulator) transmitCtrl(fa FloodAware, out graph.LinkID, pk *Packet) {
 	depart := start + float64(pk.Size)/rateBytes
 	em.linkFree[out] = depart
 	em.CtrlBytes += int64(pk.Size)
+	em.obsCtrl.Inc()
 	arrive := depart + link.Delay/1000
 	em.schedule(arrive, func() {
 		if !em.linkUp[out] {
@@ -361,6 +406,7 @@ func (em *Emulator) forward(u graph.NodeID, pk *Packet, hops int) {
 	depart := start + float64(pk.Size)/rateBytes
 	em.linkFree[out] = depart
 	em.cur.LinkBytes[out] += int64(pk.Size)
+	em.obsFwd.Inc()
 	arrive := depart + link.Delay/1000
 	em.schedule(arrive, func() {
 		if !em.linkUp[out] {
@@ -388,6 +434,7 @@ func (em *Emulator) deliver(u graph.NodeID, pk *Packet) {
 		return
 	}
 	em.cur.DeliveredBytes[[2]graph.NodeID{pk.Src, pk.Dst}] += int64(pk.Size)
+	em.obsDeliv.Inc()
 }
 
 func (em *Emulator) drop(pk *Packet) {
@@ -395,6 +442,7 @@ func (em *Emulator) drop(pk *Packet) {
 		return
 	}
 	em.cur.DropsByDst[pk.Dst] += int64(pk.Size)
+	em.obsDrop.Inc()
 }
 
 // Run processes events until the given time (events beyond it stay

@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+// The hot-path contract: metric operations allocate nothing, whether the
+// handle is live or the nil no-op a nil registry hands out. Instrumented
+// solver loops (FW sweeps, eval scenarios, netem packet forwarding) call
+// these per operation, so a single allocation here would dominate profile
+// noise and garbage.
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(1000, fn); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+func TestNilHandlesZeroAlloc(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	f := reg.FloatGauge("f")
+	h := reg.Histogram("h", ExpBounds(1, 2, 8))
+	v := reg.Vec("v", 8, nil)
+	tr := reg.Trace("t")
+
+	assertZeroAllocs(t, "nil Counter.Add", func() { c.Add(1) })
+	assertZeroAllocs(t, "nil Gauge.Set", func() { g.Set(3) })
+	assertZeroAllocs(t, "nil FloatGauge.Set", func() { f.Set(0.5) })
+	assertZeroAllocs(t, "nil Histogram.Observe", func() { h.Observe(17) })
+	assertZeroAllocs(t, "nil Vec.Add", func() { v.Add(2, 1) })
+	assertZeroAllocs(t, "nil Trace span", func() {
+		sp := tr.Start("x")
+		sp.SetFloat("k", 1)
+		sp.Child("y").End()
+		sp.End()
+	})
+}
+
+func TestLiveHandlesZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	f := reg.FloatGauge("f")
+	h := reg.Histogram("h", ExpBounds(1, 2, 20))
+	v := reg.Vec("v", 64, nil)
+
+	var i int64
+	assertZeroAllocs(t, "live Counter.Add", func() { c.Add(1) })
+	assertZeroAllocs(t, "live Gauge.Set", func() { g.Set(9) })
+	assertZeroAllocs(t, "live FloatGauge.Set", func() { f.Set(1.5) })
+	assertZeroAllocs(t, "live Histogram.Observe", func() { i++; h.Observe(i * 37) })
+	assertZeroAllocs(t, "live Vec.Add", func() { i++; v.Add(int(i)&63, 1) })
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "log/slog"
+
+// SetupCLI wires the standard observability flags shared by the r3plan,
+// r3sim and r3emu commands: it initializes slog (quiet by default, info
+// level when verbose), and when either debugAddr or traceOut is set it
+// creates a live Registry, serving /debug/vars, /debug/metrics and
+// /debug/pprof on debugAddr if non-empty. The returned cleanup shuts the
+// server down and, if traceOut is non-empty, dumps the recorded span trees
+// there; call it on the command's success path. With both strings empty
+// the returned registry is nil — every instrumented path degrades to
+// no-ops — and cleanup is a harmless stub.
+func SetupCLI(debugAddr, traceOut string, verbose bool) (*Registry, func(), error) {
+	InitLogging(verbose)
+	if debugAddr == "" && traceOut == "" {
+		return nil, func() {}, nil
+	}
+	reg := NewRegistry()
+	stop := func() {}
+	if debugAddr != "" {
+		addr, shutdown, err := StartDebugServer(debugAddr, reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		slog.Info("debug server listening", "addr", addr)
+		stop = shutdown
+	}
+	cleanup := func() {
+		stop()
+		if traceOut != "" {
+			if err := WriteTraceFile(traceOut, reg); err != nil {
+				slog.Error("writing trace file", "path", traceOut, "err", err)
+			} else {
+				slog.Info("trace written", "path", traceOut)
+			}
+		}
+	}
+	return reg, cleanup, nil
+}

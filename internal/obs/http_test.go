@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesJSONSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("eval.scenarios").Add(12)
+	reg.Histogram("eval.scenario_us", ExpBounds(10, 2, 8)).Observe(50)
+	tr := reg.Trace("fw")
+	tr.Start("run").End()
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["eval.scenarios"] != 12 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["eval.scenario_us"].Count != 1 {
+		t.Fatalf("histograms = %v", snap.Histograms)
+	}
+	if len(snap.Traces["fw"]) != 1 {
+		t.Fatalf("traces = %v", snap.Traces)
+	}
+
+	// Text endpoint and the pprof index must also respond.
+	for _, path := range []string{"/debug/metrics", "/debug/pprof/"} {
+		r2, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != 200 {
+			t.Fatalf("%s status = %d", path, r2.StatusCode)
+		}
+	}
+}
+
+func TestStartDebugServerAndShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	addr, shutdown, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	shutdown()
+	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+func TestWriteTraceFile(t *testing.T) {
+	reg := NewRegistry()
+	sp := reg.Trace("fw").Start("run")
+	sp.Child("epoch").End()
+	sp.End()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTraceFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"epoch"`) {
+		t.Fatalf("trace file missing span: %s", data)
+	}
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named collection of metrics and traces. A nil *Registry
+// hands out nil (no-op) handles from every constructor, so callers thread
+// one pointer through their config and never branch on "is observability
+// on". Handle constructors are idempotent: the same name returns the same
+// instance. Registering one name as two different kinds panics — that is
+// a programming error, not an input error.
+type Registry struct {
+	mu       sync.Mutex
+	kinds    map[string]string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+	vecs     map[string]*Vec
+	traces   map[string]*Trace
+}
+
+// NewRegistry returns an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]string),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*Vec),
+		traces:   make(map[string]*Trace),
+	}
+}
+
+func (r *Registry) claim(name, kind string) {
+	if have, ok := r.kinds[name]; ok && have != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, have, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named int gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "float_gauge")
+	g, ok := r.fgauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback sampled at snapshot time (queue depths,
+// pool stats). Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gauge_func")
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it over the given
+// bucket grid on first use. Later calls ignore bounds (the grid is fixed
+// at creation).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "histogram")
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Vec returns the named counter vector of size n, creating it on first
+// use. label, when non-nil, names slot i at snapshot time; later calls
+// ignore n and label.
+func (r *Registry) Vec(name string, n int, label func(int) string) *Vec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "vec")
+	v, ok := r.vecs[name]
+	if !ok {
+		if n < 0 {
+			n = 0
+		}
+		v = &Vec{vals: make([]atomic.Int64, n), label: label}
+		r.vecs[name] = v
+	}
+	return v
+}
+
+// Trace returns the named trace, creating it on first use.
+func (r *Registry) Trace(name string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "trace")
+	t, ok := r.traces[name]
+	if !ok {
+		t = newTrace()
+		r.traces[name] = t
+	}
+	return t
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of the registry.
+type Snapshot struct {
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Vecs        map[string]map[string]int64  `json:"vecs,omitempty"`
+	Traces      map[string][]SpanSnapshot    `json:"traces,omitempty"`
+}
+
+// Snapshot captures every metric. GaugeFunc callbacks are sampled here
+// (they fold into Gauges). Nil returns a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for k, v := range r.fgauges {
+		fgauges[k] = v
+	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	vecs := make(map[string]*Vec, len(r.vecs))
+	for k, v := range r.vecs {
+		vecs[k] = v
+	}
+	traces := make(map[string]*Trace, len(r.traces))
+	for k, v := range r.traces {
+		traces[k] = v
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			snap.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 || len(gaugeFns) > 0 {
+		snap.Gauges = make(map[string]int64, len(gauges)+len(gaugeFns))
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Value()
+		}
+		for k, fn := range gaugeFns {
+			snap.Gauges[k] = fn()
+		}
+	}
+	if len(fgauges) > 0 {
+		snap.FloatGauges = make(map[string]float64, len(fgauges))
+		for k, g := range fgauges {
+			snap.FloatGauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			snap.Histograms[k] = h.Snapshot()
+		}
+	}
+	if len(vecs) > 0 {
+		snap.Vecs = make(map[string]map[string]int64, len(vecs))
+		for k, v := range vecs {
+			m := make(map[string]int64)
+			for i := 0; i < v.Len(); i++ {
+				n := v.Value(i)
+				if n == 0 {
+					continue
+				}
+				key := fmt.Sprintf("%d", i)
+				if v.label != nil {
+					key = v.label(i)
+				}
+				m[key] += n
+			}
+			snap.Vecs[k] = m
+		}
+	}
+	if len(traces) > 0 {
+		snap.Traces = make(map[string][]SpanSnapshot, len(traces))
+		for k, t := range traces {
+			snap.Traces[k] = t.Snapshot()
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the snapshot in a flat human-readable form, one metric
+// per line, sorted by name. Traces render as span counts (use WriteJSON
+// or a -trace-out dump for full trees).
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	var lines []string
+	for k, v := range snap.Counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", k, v))
+	}
+	for k, v := range snap.Gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", k, v))
+	}
+	for k, v := range snap.FloatGauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", k, v))
+	}
+	for k, h := range snap.Histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d sum=%d min=%d max=%d mean=%.1f",
+			k, h.Count, h.Sum, h.Min, h.Max, h.Mean()))
+	}
+	for k, m := range snap.Vecs {
+		keys := make([]string, 0, len(m))
+		for kk := range m {
+			keys = append(keys, kk)
+		}
+		sort.Strings(keys)
+		for _, kk := range keys {
+			lines = append(lines, fmt.Sprintf("vec %s{%s} %d", k, kk, m[kk]))
+		}
+	}
+	for k, spans := range snap.Traces {
+		lines = append(lines, fmt.Sprintf("trace %s roots=%d", k, len(spans)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

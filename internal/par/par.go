@@ -35,6 +35,48 @@ import (
 // safe for concurrent use.
 type Pool struct {
 	workers int
+
+	// Always-on stats: a few atomic adds per loop/item, negligible next
+	// to chunk-sized bodies. Observability layers (internal/obs) sample
+	// them through Stats and Pending rather than the pool importing any
+	// metrics package.
+	loops   atomic.Int64
+	items   atomic.Int64
+	pending atomic.Int64
+}
+
+// Stats reports how many parallel loops the pool has run and how many
+// loop items (or chunks) it has executed. Nil pools report zeros.
+func (p *Pool) Stats() (loops, items int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.loops.Load(), p.items.Load()
+}
+
+// Pending reports the number of items of in-flight loops not yet
+// completed — the pool's instantaneous queue depth. Nil pools report 0.
+func (p *Pool) Pending() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.pending.Load()
+}
+
+func (p *Pool) noteLoop(n int) {
+	if p == nil {
+		return
+	}
+	p.loops.Add(1)
+	p.pending.Add(int64(n))
+}
+
+func (p *Pool) noteItemDone() {
+	if p == nil {
+		return
+	}
+	p.items.Add(1)
+	p.pending.Add(-1)
 }
 
 // New returns a pool bounded to workers concurrent body executions.
@@ -109,10 +151,21 @@ func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s
 	if w > n {
 		w = n
 	}
+	p.noteLoop(n)
+	var done atomic.Int64
+	// Reconcile the pending gauge for items never executed (an early exit
+	// via panic); on a normal completion this adjusts by zero.
+	defer func() {
+		if p != nil {
+			p.pending.Add(done.Load() - int64(n))
+		}
+	}()
 	if w == 1 {
 		s := newScratch()
 		for i := 0; i < n; i++ {
 			fn(i, s)
+			done.Add(1)
+			p.noteItemDone()
 		}
 		return
 	}
@@ -139,6 +192,8 @@ func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s
 					return
 				}
 				body(i, s)
+				done.Add(1)
+				p.noteItemDone()
 			}
 		}()
 	}
@@ -249,6 +304,13 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) erro
 	if w > n {
 		w = n
 	}
+	p.noteLoop(n)
+	var done atomic.Int64
+	defer func() {
+		if p != nil {
+			p.pending.Add(done.Load() - int64(n))
+		}
+	}()
 	var next atomic.Int64
 	next.Store(-1)
 	var (
@@ -296,6 +358,8 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) erro
 						record(i, err)
 					}
 				}()
+				done.Add(1)
+				p.noteItemDone()
 			}
 		}()
 	}

@@ -1,0 +1,71 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzParse drives the topology parser with arbitrary text. For inputs it
+// accepts, the parsed graph must satisfy the format's invariants (nodes
+// exist, all links duplex with finite positive parameters) and survive a
+// Format → Parse round trip unchanged in shape.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"topology t\nnode a\nnode b\nlink a b 10 1\n",
+		"node a\nnode b\nnode c\nlink a b 100 2 5\nlink b c 40 1\nsrlg a,b b,c\n",
+		"# comment only\nnode x\n",
+		"topology bad\nlink a b 10 1\n",
+		"node a\nnode b\nlink a b NaN 1\n",
+		"node a\nlink a a 10 1\n",
+		"node a\nnode b\nlink a b 10 1\nmlg a,b\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.NumNodes() == 0 {
+			t.Fatal("accepted topology has no nodes")
+		}
+		for _, l := range g.Links() {
+			if l.Src == l.Dst {
+				t.Fatalf("accepted self-link %d at node %d", l.ID, l.Src)
+			}
+			if !isFinite(l.Capacity) || l.Capacity <= 0 || !isFinite(l.Delay) || l.Delay <= 0 || !isFinite(l.Weight) || l.Weight <= 0 {
+				t.Fatalf("accepted link %d with bad parameters: cap=%v delay=%v weight=%v", l.ID, l.Capacity, l.Delay, l.Weight)
+			}
+			if l.Reverse < 0 {
+				t.Fatalf("accepted simplex link %d (format only declares duplex pairs)", l.ID)
+			}
+		}
+		// Extreme node names can push a Format line past bufio.Scanner's
+		// token limit; the round trip is only meaningful below it.
+		for n := 0; n < g.NumNodes(); n++ {
+			if len(g.Node(graph.NodeID(n))) > 1000 {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := Format(&buf, g); err != nil {
+			t.Fatalf("Format of accepted topology: %v", err)
+		}
+		g2, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reformatted topology rejected: %v\n%s", err, buf.Bytes())
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d links",
+				g.NumNodes(), g2.NumNodes(), g.NumLinks(), g2.NumLinks())
+		}
+		if len(g2.SRLGs()) != len(g.SRLGs()) || len(g2.MLGs()) != len(g.MLGs()) {
+			t.Fatalf("round trip changed groups: srlg %d/%d, mlg %d/%d",
+				len(g.SRLGs()), len(g2.SRLGs()), len(g.MLGs()), len(g2.MLGs()))
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -60,15 +61,21 @@ func Parse(r io.Reader) (*graph.Graph, error) {
 			if !ok1 || !ok2 {
 				return nil, fmt.Errorf("topo: line %d: link references undeclared node", lineNo)
 			}
+			if a == b {
+				return nil, fmt.Errorf("topo: line %d: link from %s to itself", lineNo, fields[1])
+			}
+			// NaN slips through "<= 0" comparisons (every comparison with
+			// NaN is false) and Inf capacities break load arithmetic, so
+			// demand finite values explicitly.
 			capacity, err1 := strconv.ParseFloat(fields[3], 64)
 			delay, err2 := strconv.ParseFloat(fields[4], 64)
-			if err1 != nil || err2 != nil || capacity <= 0 || delay <= 0 {
+			if err1 != nil || err2 != nil || !isFinite(capacity) || !isFinite(delay) || capacity <= 0 || delay <= 0 {
 				return nil, fmt.Errorf("topo: line %d: bad capacity/delay", lineNo)
 			}
 			weight := 1.0
 			if len(fields) == 6 {
 				w, err := strconv.ParseFloat(fields[5], 64)
-				if err != nil || w <= 0 {
+				if err != nil || !isFinite(w) || w <= 0 {
 					return nil, fmt.Errorf("topo: line %d: bad weight", lineNo)
 				}
 				weight = w
@@ -105,6 +112,10 @@ func Parse(r io.Reader) (*graph.Graph, error) {
 		return nil, fmt.Errorf("topo: no nodes declared")
 	}
 	return g, nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func lookupDuplex(g *graph.Graph, pair string) (graph.LinkID, graph.LinkID, error) {

@@ -1,0 +1,75 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzLookup resolves the three fixed node names a fuzz input may use.
+func fuzzLookup(s string) (graph.NodeID, bool) {
+	switch s {
+	case "a":
+		return 0, true
+	case "b":
+		return 1, true
+	case "c":
+		return 2, true
+	}
+	return 0, false
+}
+
+// FuzzParseMatrix drives the traffic-matrix parser with arbitrary text.
+// Accepted matrices must hold only finite nonnegative demands and survive
+// a FormatMatrix → ParseMatrix round trip exactly (%g prints the shortest
+// representation that re-parses to the same float).
+func FuzzParseMatrix(f *testing.F) {
+	seeds := []string{
+		"demand a b 10\n",
+		"# day 0\ndemand a b 1.5\ndemand b c 0\ndemand a b 2.5\n",
+		"demand a a 1\n",
+		"demand a b NaN\n",
+		"demand a b -1\n",
+		"demand a b 1e308\ndemand a b 1e308\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	names := []string{"a", "b", "c"}
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ParseMatrix(strings.NewReader(input), 3, fuzzLookup)
+		if err != nil {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				v := m.At(graph.NodeID(i), graph.NodeID(j))
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("accepted matrix holds bad demand [%d][%d] = %v", i, j, v)
+				}
+				if i == j && v != 0 {
+					t.Fatalf("accepted self-demand [%d][%d] = %v", i, j, v)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := FormatMatrix(&buf, m, func(id graph.NodeID) string { return names[id] }); err != nil {
+			t.Fatalf("FormatMatrix: %v", err)
+		}
+		m2, err := ParseMatrix(bytes.NewReader(buf.Bytes()), 3, fuzzLookup)
+		if err != nil {
+			t.Fatalf("reformatted matrix rejected: %v\n%s", err, buf.Bytes())
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a, b := m.At(graph.NodeID(i), graph.NodeID(j)), m2.At(graph.NodeID(i), graph.NodeID(j))
+				if a != b {
+					t.Fatalf("round trip changed [%d][%d]: %v != %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

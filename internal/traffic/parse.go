@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -41,14 +42,23 @@ func ParseMatrix(r io.Reader, n int, lookup func(string) (graph.NodeID, bool)) (
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("traffic: line %d: unknown node", lineNo)
 		}
+		if a < 0 || int(a) >= n || b < 0 || int(b) >= n {
+			return nil, fmt.Errorf("traffic: line %d: node id out of range", lineNo)
+		}
 		if a == b {
 			return nil, fmt.Errorf("traffic: line %d: demand from %s to itself", lineNo, fields[1])
 		}
+		// "v < 0" is false for NaN, and an Inf demand poisons every load
+		// sum downstream — both must be rejected here.
 		v, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil || v < 0 {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return nil, fmt.Errorf("traffic: line %d: bad volume %q", lineNo, fields[3])
 		}
-		m.Set(a, b, m.At(a, b)+v)
+		sum := m.At(a, b) + v
+		if math.IsInf(sum, 0) {
+			return nil, fmt.Errorf("traffic: line %d: demand overflow", lineNo)
+		}
+		m.Set(a, b, sum)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("traffic: %v", err)
