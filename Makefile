@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel
+.PHONY: all build vet test race bench bench-parallel bench-lp fuzz-smoke
 
 all: build vet test
 
@@ -26,3 +26,14 @@ bench:
 # speedup is bounded by the cores available).
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSummary' -benchtime 1x .
+
+# bench-lp compares cold vs warm-started exact LP scenario solves and
+# writes BENCH_lp.json (pivot/refactorization/recovery counters).
+bench-lp:
+	$(GO) test -run '^$$' -bench 'BenchmarkLPColdVsWarm' -benchtime 1x .
+
+# fuzz-smoke runs each fuzz target briefly, mirroring the CI job.
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/topo
+	$(GO) test -fuzz '^FuzzParseMatrix$$' -fuzztime 10s ./internal/traffic
+	$(GO) test -fuzz '^FuzzLPDifferential$$' -fuzztime 10s ./internal/lp

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -70,6 +71,11 @@ type Config struct {
 	// solver, the penalty envelope wins (the base is pinned to the
 	// min-MLU routing); use the LP solver to enforce both together.
 	DelayEnvelope float64
+	// LPWarmBasis warm-starts the LP solver from a basis produced by a
+	// previous precomputation of the same problem shape (see
+	// Plan.LPBasis). A mismatched basis silently falls back to a cold
+	// solve, so passing a stale basis is safe; the FW solver ignores it.
+	LPWarmBasis *lp.Basis
 }
 
 // Priority couples one traffic class with the number of failures it must

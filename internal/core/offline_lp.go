@@ -122,7 +122,7 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 
 	// Penalty envelope rows: normal-case load <= β × MLUopt × c_e.
 	if cfg.PenaltyEnvelope >= 1 && optimizeBase {
-		opt, err := mcf.MinMLUExact(g, comms, mcf.Options{})
+		opt, err := mcf.MinMLUExact(g, comms, mcf.Options{Obs: cfg.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("core: envelope baseline: %v", err)
 		}
@@ -155,7 +155,7 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 		}
 	}
 
-	sol, err := prob.Solve()
+	sol, err := prob.SolveFrom(cfg.LPWarmBasis)
 	if err != nil {
 		return nil, err
 	}
@@ -190,11 +190,12 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 	}
 
 	plan := &Plan{
-		G:     g,
-		Model: model,
-		Base:  base,
-		Prot:  prot,
-		MLU:   sol.X[mluVar],
+		G:       g,
+		Model:   model,
+		Base:    base,
+		Prot:    prot,
+		MLU:     sol.X[mluVar],
+		LPBasis: sol.Basis,
 	}
 	plan.NormalMLU = routing.MLU(g, base.Loads())
 	return plan, nil

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/lp"
 	"repro/internal/routing"
 )
 
@@ -26,6 +27,11 @@ type Plan struct {
 	// NormalMLU is the utilization of the base routing under d alone (no
 	// failures).
 	NormalMLU float64
+	// LPBasis is the optimal simplex basis from the LP solver (nil for FW
+	// plans). Feed it back via Config.LPWarmBasis to warm-start a
+	// re-precomputation of the same problem shape. The codec does not
+	// serialize it, so the wire format is unchanged.
+	LPBasis *lp.Basis
 }
 
 // CongestionFree reports whether the plan carries Theorem 1's guarantee:

@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -179,12 +180,21 @@ type Result struct {
 
 // Ratio returns scheme's performance ratio for this scenario. Ratios are
 // clamped below at 1 (the optimal is a lower bound; the approximate
-// solver can land a scheme marginally under it).
+// solver can land a scheme marginally under it). A zero optimal with a
+// positive scheme bottleneck returns +Inf: the scheme congests a
+// scenario that optimal routing carries load-free, and the old answer of
+// 1 silently masked that. Zero over zero is 1 (both idle). SortedRatios
+// sorts +Inf last, so CDF-style figures surface such scenarios at the
+// tail instead of hiding them at the origin.
 func (r *Result) Ratio(scheme string) float64 {
+	b := r.Bottleneck[scheme]
 	if r.Optimal == 0 {
+		if b > 0 {
+			return math.Inf(1)
+		}
 		return 1
 	}
-	ratio := r.Bottleneck[scheme] / r.Optimal
+	ratio := b / r.Optimal
 	if ratio < 1 {
 		return 1
 	}
@@ -199,8 +209,16 @@ type Engine struct {
 	// use.
 	Schemes []protect.Scheme
 	// OptimalIterations is the solver effort for the per-scenario optimal
-	// baseline (default 200).
+	// baseline (default 200; ignored when ExactOptimal is set).
 	OptimalIterations int
+	// ExactOptimal computes the per-scenario optimal denominator with the
+	// exact LP solver instead of Frank–Wolfe. The engine solves the
+	// no-failure scenario serially first and warm-starts every scenario's
+	// solve from that basis (set once, so results are deterministic at
+	// any worker count); connectivity-preserving scenarios share one LP
+	// shape and typically re-solve in a few dual-simplex pivots. Intended
+	// for small topologies.
+	ExactOptimal bool
 	// Workers bounds evaluation concurrency (default GOMAXPROCS).
 	Workers int
 	// Obs, when non-nil, receives evaluation metrics: the per-scenario
@@ -232,7 +250,14 @@ func bottleneckLink(g *graph.Graph, failed graph.LinkSet, loads []float64) int {
 // internal/par pool substrate; every result lands in its scenario's slot,
 // so the output order (and content) is independent of scheduling.
 func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Result {
-	opt := &protect.Optimal{G: en.G, Iterations: en.OptimalIterations}
+	opt := &protect.Optimal{G: en.G, Iterations: en.OptimalIterations, Exact: en.ExactOptimal, Obs: en.Obs}
+	if en.ExactOptimal && len(scenarios) > 0 {
+		// Seed the warm-start basis from the no-failure scenario before
+		// any concurrency: the basis is published exactly once, so every
+		// worker re-solves from the same starting point regardless of
+		// scheduling, keeping results byte-identical across worker counts.
+		opt.Loads(graph.NewLinkSet(), d)
+	}
 	results := make([]Result, len(scenarios))
 
 	// Metric handles from a nil registry are nil and every operation on

@@ -164,9 +164,17 @@ func TestRatioClamp(t *testing.T) {
 	if r.Ratio("A") != 1 {
 		t.Fatalf("Ratio = %v, want clamp to 1", r.Ratio("A"))
 	}
+	// A positive bottleneck against a zero optimum is an infinitely bad
+	// ratio, not a perfect one: +Inf sorts last in SortedRatios instead of
+	// silently reporting the scheme as optimal.
 	r0 := Result{Bottleneck: map[string]float64{"A": 0.3}, Optimal: 0}
-	if r0.Ratio("A") != 1 {
-		t.Fatalf("zero-optimal ratio = %v", r0.Ratio("A"))
+	if !math.IsInf(r0.Ratio("A"), 1) {
+		t.Fatalf("zero-optimal positive-bottleneck ratio = %v, want +Inf", r0.Ratio("A"))
+	}
+	// Zero over zero is genuinely "nothing to route": ratio 1.
+	rz := Result{Bottleneck: map[string]float64{"A": 0}, Optimal: 0}
+	if rz.Ratio("A") != 1 {
+		t.Fatalf("zero/zero ratio = %v, want 1", rz.Ratio("A"))
 	}
 }
 
@@ -213,6 +221,45 @@ func TestClassBottlenecks(t *testing.T) {
 		}
 		if b < 0 {
 			t.Fatalf("negative bottleneck for %v", cls)
+		}
+	}
+}
+
+// TestEngineExactOptimalDeterministicAcrossWorkers pins the set-once
+// warm-basis contract: with ExactOptimal, the engine seeds the
+// no-failure basis serially, so evaluation results are identical at any
+// worker count even though scenarios race for the shared solver state.
+func TestEngineExactOptimalDeterministicAcrossWorkers(t *testing.T) {
+	g := topo.Abilene()
+	d := traffic.NewMatrix(g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		d.Set(graph.NodeID(n), graph.NodeID((n+3)%g.NumNodes()), 150)
+	}
+	scenarios := FilterConnected(g, SingleLinks(g))[:8]
+
+	run := func(workers int) []Result {
+		en := &Engine{
+			G:            g,
+			Schemes:      []protect.Scheme{&protect.OSPFRecon{G: g}},
+			ExactOptimal: true,
+			Workers:      workers,
+		}
+		return en.Evaluate(d, scenarios)
+	}
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial {
+		if serial[i].Optimal != parallel[i].Optimal {
+			t.Fatalf("scenario %d: optimal %v serial vs %v at 4 workers",
+				i, serial[i].Optimal, parallel[i].Optimal)
+		}
+		if serial[i].Bottleneck["OSPF+recon"] != parallel[i].Bottleneck["OSPF+recon"] {
+			t.Fatalf("scenario %d: bottleneck differs across worker counts", i)
+		}
+	}
+	for _, r := range serial {
+		if r.Optimal <= 0 {
+			t.Fatalf("exact optimal bottleneck %v", r.Optimal)
 		}
 	}
 }

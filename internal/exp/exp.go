@@ -52,6 +52,12 @@ type Options struct {
 	// engine's per-scenario metrics all land in it. Purely passive —
 	// results are identical with or without it.
 	Obs *obs.Registry
+	// ExactOpt computes the per-scenario optimal baselines (the engine's
+	// ratio denominator and the OSPF+opt scheme) with the exact LP solver
+	// warm-started across scenarios, instead of Frank–Wolfe with OptIter
+	// iterations. Default false keeps the published experiment outputs
+	// unchanged; intended for small topologies.
+	ExactOpt bool
 }
 
 func (o Options) withDefaults() Options {
@@ -163,7 +169,7 @@ func standardSchemes(g *graph.Graph, d *traffic.Matrix, f int, o Options) []prot
 		&protect.FCP{G: g},
 		&protect.PathSplicing{G: g, Seed: o.Seed},
 		&eval.R3Scheme{Label: "OSPF+R3", Plan: ospfR3Plan(g, d, f, o)},
-		&protect.OptDetour{G: g, Iterations: o.OptIter},
+		&protect.OptDetour{G: g, Iterations: o.OptIter, Exact: o.ExactOpt, Obs: o.Obs},
 		&eval.R3Scheme{Label: "MPLS-ff+R3", Plan: r3Plan(g, d, f, o)},
 	}
 }

@@ -1,0 +1,116 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// byteCoef maps one fuzz byte into a coefficient in [lo, hi].
+func byteCoef(b byte, lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(b)/255
+}
+
+// FuzzLPDifferential cross-checks the revised simplex against exhaustive
+// vertex enumeration on fuzzer-shaped 2-variable LPs with three <= rows
+// (all-positive constraint coefficients, so the polytope is bounded and
+// contains the origin: the LP must come back Optimal and match the best
+// vertex). The seeds replay the golden cases from lp_test.go's random
+// differential test plus warm-start re-solves of each instance.
+func FuzzLPDifferential(f *testing.F) {
+	f.Add([]byte{128, 128, 64, 64, 200, 32, 96, 150, 255, 1, 80, 90, 10})
+	f.Add([]byte{0, 255, 255, 0, 1, 1, 254, 254, 128, 128, 128, 128, 128})
+	f.Add([]byte{90, 90, 90, 90, 90, 90, 90, 90, 90, 90, 90, 90, 90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 11 {
+			return
+		}
+		c := []float64{byteCoef(data[0], -2, 2), byteCoef(data[1], -2, 2)}
+		var rowsA [3][2]float64
+		var rowsB [3]float64
+		for i := 0; i < 3; i++ {
+			rowsA[i] = [2]float64{byteCoef(data[2+3*i], 0.1, 2.1), byteCoef(data[3+3*i], 0.1, 2.1)}
+			rowsB[i] = byteCoef(data[4+3*i], 1, 6)
+		}
+		p := NewProblem()
+		x := p.AddVariable("x", c[0])
+		y := p.AddVariable("y", c[1])
+		for i := 0; i < 3; i++ {
+			p.AddConstraint([]Term{{x, rowsA[i][0]}, {y, rowsA[i][1]}}, LE, rowsB[i])
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("status %v on a bounded feasible LP", sol.Status)
+		}
+
+		// Brute force over vertices: the origin, axis intercepts, and
+		// pairwise constraint intersections, keeping feasible ones.
+		best := math.Inf(1)
+		check := func(vx, vy float64) {
+			if vx < -1e-9 || vy < -1e-9 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				if rowsA[i][0]*vx+rowsA[i][1]*vy > rowsB[i]+1e-7 {
+					return
+				}
+			}
+			if v := c[0]*vx + c[1]*vy; v < best {
+				best = v
+			}
+		}
+		check(0, 0)
+		for i := 0; i < 3; i++ {
+			check(rowsB[i]/rowsA[i][0], 0)
+			check(0, rowsB[i]/rowsA[i][1])
+			for j := i + 1; j < 3; j++ {
+				det := rowsA[i][0]*rowsA[j][1] - rowsA[i][1]*rowsA[j][0]
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				check((rowsB[i]*rowsA[j][1]-rowsA[i][1]*rowsB[j])/det,
+					(rowsA[i][0]*rowsB[j]-rowsB[i]*rowsA[j][0])/det)
+			}
+		}
+		if math.Abs(sol.Value-best) > 1e-6*(1+math.Abs(best)) {
+			t.Fatalf("simplex %v, brute force %v", sol.Value, best)
+		}
+
+		// Warm re-solve of the same instance must be pivot-free and agree.
+		warm, err := p.SolveFrom(sol.Basis)
+		if err != nil {
+			t.Fatalf("warm re-solve: %v", err)
+		}
+		if !warm.WarmStarted || warm.Iterations != 0 {
+			t.Fatalf("warm re-solve: started=%v pivots=%d", warm.WarmStarted, warm.Iterations)
+		}
+		if math.Abs(warm.Value-sol.Value) > 1e-9*(1+math.Abs(sol.Value)) {
+			t.Fatalf("warm value %v != cold %v", warm.Value, sol.Value)
+		}
+
+		// Perturbed-rhs warm solve must match its own cold solve.
+		q := NewProblem()
+		qx := q.AddVariable("x", c[0])
+		qy := q.AddVariable("y", c[1])
+		bump := byteCoef(data[len(data)-1], 0.5, 1.5)
+		for i := 0; i < 3; i++ {
+			q.AddConstraint([]Term{{qx, rowsA[i][0]}, {qy, rowsA[i][1]}}, LE, rowsB[i]*bump)
+		}
+		wq, err := q.SolveFrom(sol.Basis)
+		if err != nil {
+			t.Fatalf("warm perturbed solve: %v", err)
+		}
+		cq, err := q.Solve()
+		if err != nil {
+			t.Fatalf("cold perturbed solve: %v", err)
+		}
+		if wq.Status != cq.Status {
+			t.Fatalf("perturbed status: warm %v cold %v", wq.Status, cq.Status)
+		}
+		if cq.Status == Optimal && math.Abs(wq.Value-cq.Value) > 1e-6*(1+math.Abs(cq.Value)) {
+			t.Fatalf("perturbed value: warm %v cold %v", wq.Value, cq.Value)
+		}
+	})
+}

@@ -1,5 +1,5 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
+// Package lp implements a revised-simplex solver for linear programs in
+// the form
 //
 //	minimize  c·x
 //	subject to  a_i·x (<=|=|>=) b_i   for each constraint i
@@ -10,16 +10,21 @@
 // tolerances and is intended for small and medium instances; large
 // topologies use the iterative solver in internal/core instead.
 //
-// The implementation is a textbook full-tableau simplex with Dantzig
-// pricing and an automatic switch to Bland's rule to guarantee termination
-// on degenerate problems. Because the dense tableau is never refactorized,
-// Solve verifies the final solution against the original constraints and
-// reports an error instead of silently returning a numerically corrupted
-// optimum.
+// The core is a two-phase revised simplex over a basis maintained as a
+// dense LU factorization plus a product-form eta file, refactorized every
+// few dozen pivots so long degenerate runs cannot drift the way the old
+// dense full-tableau implementation could. Rows and structural columns
+// are equilibrated with powers of two before phase 1, making every
+// tolerance scale-free. Solve still verifies the final point against the
+// original constraints, but a failed check now triggers recovery —
+// refactorize and re-optimize, then a tightened cold restart — before any
+// error is reported. SolveFrom warm-starts from a previous solution's
+// Basis, repairing rhs-only changes with the dual simplex; hot re-solve
+// paths (per-scenario optimal baselines, min-MLU solves) use it to cut
+// pivot counts dramatically.
 package lp
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -83,10 +88,9 @@ type Problem struct {
 	// MaxIter overrides the default pivot limit when nonzero.
 	MaxIter int
 	// Obs, when non-nil, receives solver counters under the "lp." prefix:
-	// solves, pivots (simplex iterations across both phases), basis
-	// repairs (artificials driven out or redundant rows zeroed after
-	// phase 1 — the dense tableau's stand-in for a refactorization), and
-	// terminal statuses. Nil costs nothing.
+	// solves, pivots (simplex iterations across all phases), basis
+	// repairs (artificials driven out after phase 1), refactorizations,
+	// warm_starts, recoveries, and terminal statuses. Nil costs nothing.
 	Obs *obs.Registry
 }
 
@@ -114,6 +118,24 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) {
 	p.cons = append(p.cons, constraint{cp, op, rhs})
 }
 
+// Basis is the optimal simplex basis of a solved Problem, opaque to
+// callers. Passing it to SolveFrom on a structurally identical problem —
+// same variables and same constraint rows up to rhs values — re-solves
+// warm: from an unchanged problem the solve is pivot-free, and after an
+// rhs change the dual simplex repairs feasibility in a handful of pivots
+// instead of a full two-phase run. A basis whose shape does not match
+// the receiving problem is ignored and the solve falls back to cold, so
+// callers may pass candidates optimistically.
+type Basis struct {
+	cols      []int
+	n, m, tot int
+}
+
+// matches reports whether the basis fits a problem of the given shape.
+func (b *Basis) matches(n, m, total int) bool {
+	return b != nil && b.n == n && b.m == m && b.tot == total && len(b.cols) == m
+}
+
 // Solution is the result of Solve.
 type Solution struct {
 	Status Status
@@ -125,203 +147,113 @@ type Solution struct {
 	// Iterations is the number of simplex pivots performed.
 	Iterations int
 	// BasisRepairs counts post-phase-1 basis surgery: artificial
-	// variables pivoted out of the basis plus redundant rows zeroed. On a
-	// dense never-refactorized tableau these repairs are the only basis
-	// maintenance performed, so the count is the solver's
-	// "refactorization" telemetry.
+	// variables examined for drive-out after phase 1.
 	BasisRepairs int
+	// Refactorizations counts LU factorizations of the basis (the
+	// periodic-refactorization cadence plus warm starts and recoveries).
+	Refactorizations int
+	// Recoveries counts verification failures repaired by refactorizing
+	// and re-optimizing instead of returning an error.
+	Recoveries int
+	// WarmStarted reports whether the solve ran from the caller's basis
+	// (false when the basis was unusable and the solve fell back cold).
+	WarmStarted bool
+	// Basis is the optimal basis, for warm-starting a later solve of a
+	// structurally identical problem via SolveFrom. Nil unless Status ==
+	// Optimal.
+	Basis *Basis
 }
 
 const (
-	tolPivot = 1e-9
-	tolZero  = 1e-7
+	tolPivot      = 1e-9
+	tolZero       = 1e-7
+	maxRecoveries = 2
 )
 
-// Solve runs the two-phase simplex and returns the solution. It never
+// Solve runs the revised simplex cold and returns the solution. It never
 // mutates the problem, so a Problem can be re-solved after modification.
-func (p *Problem) Solve() (*Solution, error) {
-	sol, err := p.solve()
+func (p *Problem) Solve() (*Solution, error) { return p.SolveFrom(nil) }
+
+// SolveFrom is Solve warm-started from a previous solution's Basis (nil
+// means cold). See Basis for the warm-start contract.
+func (p *Problem) SolveFrom(warm *Basis) (*Solution, error) {
+	sol, err := p.solve(warm)
 	if reg := p.Obs; reg != nil && sol != nil {
 		reg.Counter("lp.solves").Inc()
 		reg.Counter("lp.pivots").Add(int64(sol.Iterations))
 		reg.Counter("lp.basis_repairs").Add(int64(sol.BasisRepairs))
+		reg.Counter("lp.refactorizations").Add(int64(sol.Refactorizations))
+		reg.Counter("lp.recoveries").Add(int64(sol.Recoveries))
+		if sol.WarmStarted {
+			reg.Counter("lp.warm_starts").Inc()
+		}
 		reg.Vec("lp.status", 4, func(i int) string { return Status(i).String() }).Add(int(sol.Status), 1)
 	}
 	return sol, err
 }
 
-func (p *Problem) solve() (*Solution, error) {
+func (p *Problem) solve(warm *Basis) (*Solution, error) {
 	n := len(p.cost)
-	m := len(p.cons)
 	if n == 0 {
 		return &Solution{Status: Optimal, X: nil}, nil
 	}
-
-	// Column layout: [structural 0..n) | slack/surplus | artificial].
-	// Count extra columns.
-	nSlack := 0
-	for _, c := range p.cons {
-		if c.op != EQ {
-			nSlack++
-		}
+	sf, err := buildStdForm(p)
+	if err != nil {
+		return nil, err
 	}
-	// Build rows with rhs >= 0.
-	type row struct {
-		coef []float64
-		rhs  float64
-		op   Op
-	}
-	rows := make([]row, m)
-	for i, c := range p.cons {
-		r := row{coef: make([]float64, n), rhs: c.rhs, op: c.op}
-		for _, t := range c.terms {
-			if t.Var < 0 || t.Var >= n {
-				return nil, fmt.Errorf("lp: constraint %d references variable %d of %d", i, t.Var, n)
-			}
-			r.coef[t.Var] += t.Coef
-		}
-		if r.rhs < 0 {
-			for j := range r.coef {
-				r.coef[j] = -r.coef[j]
-			}
-			r.rhs = -r.rhs
-			switch r.op {
-			case LE:
-				r.op = GE
-			case GE:
-				r.op = LE
-			}
-		}
-		rows[i] = r
-	}
-
-	// Assign slack and artificial columns. Every GE and EQ row needs an
-	// artificial; LE rows use their slack as the initial basis.
-	nArt := 0
-	for _, r := range rows {
-		if r.op != LE {
-			nArt++
-		}
-	}
-	total := n + nSlack + nArt
-	tab := make([][]float64, m)
-	basis := make([]int, m)
-	slackCol := n
-	artCol := n + nSlack
-	for i := range rows {
-		t := make([]float64, total+1)
-		copy(t, rows[i].coef)
-		t[total] = rows[i].rhs
-		switch rows[i].op {
-		case LE:
-			t[slackCol] = 1
-			basis[i] = slackCol
-			slackCol++
-		case GE:
-			t[slackCol] = -1
-			slackCol++
-			t[artCol] = 1
-			basis[i] = artCol
-			artCol++
-		case EQ:
-			t[artCol] = 1
-			basis[i] = artCol
-			artCol++
-		}
-		tab[i] = t
-	}
-
 	maxIter := p.MaxIter
 	if maxIter == 0 {
-		maxIter = 50 * (m + total + 10)
+		maxIter = 50 * (sf.m + sf.total + 10)
 	}
-
+	s := newSolver(sf, maxIter)
 	sol := &Solution{X: make([]float64, n)}
 
-	// Phase 1: minimize the sum of artificials.
-	if nArt > 0 {
-		obj := make([]float64, total+1)
-		for j := n + nSlack; j < total; j++ {
-			obj[j] = 1
-		}
-		// Price out the initial basis (artificials have cost 1).
-		for i, b := range basis {
-			if b >= n+nSlack {
-				for j := 0; j <= total; j++ {
-					obj[j] -= tab[i][j]
-				}
-			}
-		}
-		st, iters := simplex(tab, basis, obj, total, maxIter, n+nSlack)
-		sol.Iterations += iters
-		if st == IterLimit {
-			sol.Status = IterLimit
-			return sol, errors.New("lp: phase-1 iteration limit")
-		}
-		// Feasible iff artificial sum is ~0. obj[total] holds -objective.
-		if -obj[total] > tolZero {
-			sol.Status = Infeasible
+	st := IterLimit
+	phase := 2
+	handled := false
+	if warm.matches(n, sf.m, sf.total) {
+		handled, st = s.warm(warm.cols)
+		sol.WarmStarted = handled
+	}
+	var serr error
+	if !handled {
+		st, phase, serr = s.cold()
+	}
+
+	if st != Optimal {
+		s.fill(sol)
+		sol.Status = st
+		switch st {
+		case Infeasible, Unbounded:
 			return sol, nil
-		}
-		// Drive remaining artificials out of the basis where possible.
-		for i, b := range basis {
-			if b < n+nSlack {
-				continue
+		default:
+			if serr != nil {
+				return sol, fmt.Errorf("lp: %v", serr)
 			}
-			pivoted := false
-			for j := 0; j < n+nSlack; j++ {
-				if math.Abs(tab[i][j]) > tolPivot {
-					pivot(tab, basis, nil, i, j, total)
-					pivoted = true
-					sol.BasisRepairs++
-					break
-				}
-			}
-			if !pivoted {
-				// Redundant row; zero it so it cannot constrain phase 2.
-				for j := 0; j <= total; j++ {
-					tab[i][j] = 0
-				}
-				basis[i] = -1
-				sol.BasisRepairs++
-			}
+			return sol, fmt.Errorf("lp: phase-%d iteration limit", phase)
 		}
 	}
 
-	// Phase 2: minimize the real objective. Artificial columns are barred
-	// from entering (limit = n+nSlack).
-	obj := make([]float64, total+1)
-	copy(obj, p.cost)
-	for i, b := range basis {
-		if b >= 0 && b < len(p.cost) && p.cost[b] != 0 {
-			cb := p.cost[b]
-			for j := 0; j <= total; j++ {
-				obj[j] -= cb * tab[i][j]
-			}
+	// Verify the claimed optimum against the original constraints; on
+	// failure, recover (refactorize + re-optimize, then a tightened cold
+	// restart) before giving up.
+	for attempt := 0; ; attempt++ {
+		s.extract(sol.X)
+		verr := p.verifySolution(sol.X)
+		if verr == nil {
+			break
+		}
+		if attempt >= maxRecoveries || !s.recover(attempt) {
+			s.fill(sol)
+			sol.Status = IterLimit
+			return sol, fmt.Errorf("lp: solution failed verification after %d recovery attempts: %v", s.recoveries, verr)
 		}
 	}
-	st, iters := simplex(tab, basis, obj, total, maxIter, n+nSlack)
-	sol.Iterations += iters
-	switch st {
-	case Unbounded:
-		sol.Status = Unbounded
-		return sol, nil
-	case IterLimit:
-		sol.Status = IterLimit
-		return sol, errors.New("lp: phase-2 iteration limit")
-	}
-
-	for i, b := range basis {
-		if b >= 0 && b < n {
-			sol.X[b] = tab[i][total]
+	// Clamp tolerance-level negatives left by floating point.
+	for j, v := range sol.X {
+		if v < 0 {
+			sol.X[j] = 0
 		}
-	}
-	// Guard against numerical corruption: a long degenerate run on a
-	// dense tableau (no refactorization) can drift. Verify the solution
-	// against the original constraints before declaring optimality.
-	if err := p.checkFeasible(sol.X); err != nil {
-		sol.Status = IterLimit
-		return sol, fmt.Errorf("lp: solution failed verification: %v", err)
 	}
 	var val float64
 	for j, c := range p.cost {
@@ -329,16 +261,38 @@ func (p *Problem) solve() (*Solution, error) {
 	}
 	sol.Value = val
 	sol.Status = Optimal
+	s.fill(sol)
+	sol.Basis = &Basis{cols: append([]int(nil), s.basis...), n: n, m: sf.m, tot: sf.total}
 	return sol, nil
 }
 
+// testVerify, when non-nil, replaces checkFeasible in the post-solve
+// verification loop so tests can force the recovery path.
+var testVerify func(p *Problem, x []float64) error
+
+func (p *Problem) verifySolution(x []float64) error {
+	if testVerify != nil {
+		return testVerify(p, x)
+	}
+	return p.checkFeasible(x)
+}
+
 // checkFeasible verifies x against the problem's constraints within a
-// relative tolerance.
+// relative tolerance. Both checks are scale-aware: the nonnegativity
+// bound is relative to the largest |x| and each row's bound to the
+// largest term in the row, so Gbps-scale capacities next to unit demands
+// neither false-fail nor mask real violations.
 func (p *Problem) checkFeasible(x []float64) error {
 	const tol = 1e-5
+	xScale := 1.0
 	for _, v := range x {
-		if v < -tol {
-			return fmt.Errorf("negative variable %v", v)
+		if a := math.Abs(v); a > xScale {
+			xScale = a
+		}
+	}
+	for _, v := range x {
+		if v < -tol*xScale {
+			return fmt.Errorf("negative variable %v (scale %v)", v, xScale)
 		}
 	}
 	for i, c := range p.cons {
@@ -367,96 +321,4 @@ func (p *Problem) checkFeasible(x []float64) error {
 		}
 	}
 	return nil
-}
-
-// simplex runs primal simplex pivots on the tableau until optimal,
-// unbounded, or the iteration limit. obj is the (priced-out) objective
-// row; entering columns are restricted to [0, enterLimit). Pricing is
-// Dantzig's rule, switching to Bland's rule only while a degeneracy
-// streak persists (guaranteeing termination without paying Bland's slow
-// convergence on the whole solve). Returns the status and pivot count.
-func simplex(tab [][]float64, basis []int, obj []float64, total, maxIter, enterLimit int) (Status, int) {
-	m := len(tab)
-	iters := 0
-	blandAfter := maxIter / 2
-	for ; iters < maxIter; iters++ {
-		// Choose entering column.
-		enter := -1
-		if iters < blandAfter {
-			best := -tolZero
-			for j := 0; j < enterLimit; j++ {
-				if obj[j] < best {
-					best = obj[j]
-					enter = j
-				}
-			}
-		} else {
-			// Bland's rule: first improving column.
-			for j := 0; j < enterLimit; j++ {
-				if obj[j] < -tolZero {
-					enter = j
-					break
-				}
-			}
-		}
-		if enter < 0 {
-			return Optimal, iters
-		}
-		// Ratio test with smallest-basis-index tie-breaking (limits
-		// cycling under Dantzig pricing; Bland's rule after blandAfter
-		// guarantees termination).
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < m; i++ {
-			a := tab[i][enter]
-			if a > tolPivot {
-				r := tab[i][total] / a
-				if r < bestRatio-tolPivot || (r < bestRatio+tolPivot && (leave < 0 || basis[i] < basis[leave])) {
-					bestRatio = r
-					leave = i
-				}
-			}
-		}
-		if leave < 0 {
-			return Unbounded, iters
-		}
-		pivot(tab, basis, obj, leave, enter, total)
-	}
-	return IterLimit, iters
-}
-
-// pivot performs a simplex pivot on (row, col), updating the tableau,
-// basis, and (when non-nil) the objective row.
-func pivot(tab [][]float64, basis []int, obj []float64, row, col, total int) {
-	pr := tab[row]
-	pv := pr[col]
-	inv := 1 / pv
-	for j := 0; j <= total; j++ {
-		pr[j] *= inv
-	}
-	pr[col] = 1 // avoid drift
-	for i := range tab {
-		if i == row {
-			continue
-		}
-		f := tab[i][col]
-		if f == 0 {
-			continue
-		}
-		ri := tab[i]
-		for j := 0; j <= total; j++ {
-			ri[j] -= f * pr[j]
-		}
-		ri[col] = 0
-	}
-	if obj != nil {
-		f := obj[col]
-		if f != 0 {
-			for j := 0; j <= total; j++ {
-				obj[j] -= f * pr[j]
-			}
-			obj[col] = 0
-		}
-	}
-	basis[row] = col
 }

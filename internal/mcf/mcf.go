@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/spf"
 )
@@ -38,6 +39,16 @@ type Options struct {
 	// RelTol stops early when the duality-style gap estimate falls below
 	// RelTol × current objective (default 0.005).
 	RelTol float64
+	// Warm, when non-nil, seeds MinMLUExact's simplex with the basis of a
+	// previous solve over the same (topology, commodities, reachability)
+	// shape — failure scenarios differ only in rhs entries, so the dual
+	// simplex repairs the basis in a few pivots instead of a full
+	// two-phase run. A basis from a different shape falls back to a cold
+	// solve. MinMLU ignores it.
+	Warm *lp.Basis
+	// Obs, when non-nil, receives the LP solver's "lp." counters from
+	// exact solves. MinMLU ignores it.
+	Obs *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -57,6 +68,10 @@ type Result struct {
 	MLU float64
 	// Dropped counts commodities unreachable under the alive predicate.
 	Dropped int
+	// Basis is the optimal simplex basis from MinMLUExact, for
+	// warm-starting the next structurally identical solve via
+	// Options.Warm. Nil from MinMLU.
+	Basis *lp.Basis
 }
 
 // MinMLU approximately minimizes the maximum link utilization of routing
@@ -300,6 +315,15 @@ func allZeroDemand(comms []routing.Commodity) bool {
 // MinMLUExact solves the min-MLU LP exactly with the simplex solver.
 // Intended for small instances (the LP has |comms|×|E| variables).
 // Unreachable commodities are dropped, as in MinMLU.
+//
+// The LP keeps an identical constraint shape for every failure pattern
+// on a given (topology, commodities) pair: every commodity gets a
+// variable on every link, and a failed link is expressed purely through
+// the rhs of its per-link "kill" row (and a zeroed capacity-row rhs)
+// rather than by deleting columns. A basis from one scenario therefore
+// warm-starts the next through Options.Warm; only a change in the
+// reachability pattern (a partition dropping commodities) changes the
+// shape, and then the solver falls back to a cold solve on its own.
 func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Result, error) {
 	opts.defaults()
 	nL := g.NumLinks()
@@ -325,42 +349,40 @@ func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Resu
 	}
 
 	p := lp.NewProblem()
+	p.Obs = opts.Obs
 	mluVar := p.AddVariable("MLU", 1)
-	// varOf[k][e] is the variable index of commodity k on link e, or -1.
+	// varOf[k][e] is the variable index of commodity k on link e. Every
+	// (commodity, link) pair gets a variable so the shape is
+	// scenario-independent; kill rows force dead-link flow to zero.
 	varOf := make([][]int, len(comms))
 	for k := range comms {
 		varOf[k] = make([]int, nL)
-		for e := range varOf[k] {
-			varOf[k][e] = -1
-		}
-		if !reach[k] {
-			continue
-		}
 		for e := 0; e < nL; e++ {
-			if aliveLinks[e] {
-				varOf[k][e] = p.AddVariable(fmt.Sprintf("f%d_%d", k, e), 0)
-			}
+			varOf[k][e] = p.AddVariable(fmt.Sprintf("f%d_%d", k, e), 0)
 		}
 	}
 
-	// Routing constraints [R1]-[R3] per reachable commodity.
+	// Routing constraints [R1]-[R3] per reachable commodity. An
+	// unreachable commodity instead has its whole row pinned to zero so
+	// it cannot carry junk flow into the capacity rows.
 	for k, c := range comms {
 		if !reach[k] {
+			terms := make([]lp.Term, 0, nL)
+			for e := 0; e < nL; e++ {
+				terms = append(terms, lp.Term{Var: varOf[k][e], Coef: 1})
+			}
+			p.AddConstraint(terms, lp.EQ, 0)
 			continue
 		}
 		// [R2] source emits one unit net (allowing no return flow [R3]).
 		var src []lp.Term
 		for _, id := range g.Out(c.Src) {
-			if v := varOf[k][int(id)]; v >= 0 {
-				src = append(src, lp.Term{Var: v, Coef: 1})
-			}
+			src = append(src, lp.Term{Var: varOf[k][int(id)], Coef: 1})
 		}
 		p.AddConstraint(src, lp.EQ, 1)
 		// [R3] nothing enters the source.
 		for _, id := range g.In(c.Src) {
-			if v := varOf[k][int(id)]; v >= 0 {
-				p.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.EQ, 0)
-			}
+			p.AddConstraint([]lp.Term{{Var: varOf[k][int(id)], Coef: 1}}, lp.EQ, 0)
 		}
 		// [R1] conservation at intermediate nodes.
 		for n := 0; n < g.NumNodes(); n++ {
@@ -370,14 +392,10 @@ func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Resu
 			}
 			var terms []lp.Term
 			for _, id := range g.In(node) {
-				if v := varOf[k][int(id)]; v >= 0 {
-					terms = append(terms, lp.Term{Var: v, Coef: 1})
-				}
+				terms = append(terms, lp.Term{Var: varOf[k][int(id)], Coef: 1})
 			}
 			for _, id := range g.Out(node) {
-				if v := varOf[k][int(id)]; v >= 0 {
-					terms = append(terms, lp.Term{Var: v, Coef: -1})
-				}
+				terms = append(terms, lp.Term{Var: varOf[k][int(id)], Coef: -1})
 			}
 			if terms != nil {
 				p.AddConstraint(terms, lp.EQ, 0)
@@ -385,22 +403,53 @@ func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Resu
 		}
 	}
 
-	// Capacity: sum_k d_k f_k(e) + bg_e <= MLU * c_e.
+	// Capacity: sum_k d_k f_k(e) + bg_e <= MLU * c_e. Failed links keep
+	// their row with a zero rhs (no background on a dead link); their
+	// flow terms are annihilated by the kill rows below, so the row
+	// degenerates to 0 <= MLU·c_e.
 	for e := 0; e < nL; e++ {
-		if !aliveLinks[e] {
-			continue
-		}
 		cEdge := g.Link(graph.LinkID(e)).Capacity
 		terms := []lp.Term{{Var: mluVar, Coef: -cEdge}}
 		for k, c := range comms {
-			if v := varOf[k][e]; v >= 0 && c.Demand > 0 {
-				terms = append(terms, lp.Term{Var: v, Coef: c.Demand})
+			if c.Demand > 0 {
+				terms = append(terms, lp.Term{Var: varOf[k][e], Coef: c.Demand})
 			}
 		}
-		p.AddConstraint(terms, lp.LE, -bg[e])
+		rhs := 0.0
+		if aliveLinks[e] {
+			rhs = -bg[e]
+		}
+		p.AddConstraint(terms, lp.LE, rhs)
 	}
 
-	sol, err := p.Solve()
+	// Kill rows: one per link, sum_k coef_k f_k(e) <= U_e with U_e = 0
+	// when the link is failed (forcing every commodity's flow on it to
+	// zero) and a slack bound exceeding any cycle-free total when alive
+	// (never binding). Failures flip only these rhs values, keeping the
+	// constraint matrix — and hence warm-start basis compatibility —
+	// scenario-invariant.
+	killSlack := 1.0
+	kcoef := make([]float64, len(comms))
+	for k, c := range comms {
+		kcoef[k] = c.Demand
+		if kcoef[k] <= 0 {
+			kcoef[k] = 1
+		}
+		killSlack += kcoef[k]
+	}
+	for e := 0; e < nL; e++ {
+		terms := make([]lp.Term, 0, len(comms))
+		for k := range comms {
+			terms = append(terms, lp.Term{Var: varOf[k][e], Coef: kcoef[k]})
+		}
+		rhs := 0.0
+		if aliveLinks[e] {
+			rhs = killSlack
+		}
+		p.AddConstraint(terms, lp.LE, rhs)
+	}
+
+	sol, err := p.SolveFrom(opts.Warm)
 	if err != nil {
 		return nil, err
 	}
@@ -412,13 +461,15 @@ func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Resu
 			continue
 		}
 		for e := 0; e < nL; e++ {
-			if v := varOf[k][e]; v >= 0 {
-				f.Frac[k][e] = sol.X[v]
+			// Dead links carry only kill-row tolerance noise; zero it so
+			// extracted flows match the alive-only formulation exactly.
+			if aliveLinks[e] {
+				f.Frac[k][e] = sol.X[varOf[k][e]]
 			}
 		}
 	}
 	f.RemoveLoops()
 	final := append([]float64(nil), bg...)
 	f.AddLoads(final)
-	return &Result{Flow: f, MLU: routing.MLU(g, final), Dropped: dropped}, nil
+	return &Result{Flow: f, MLU: routing.MLU(g, final), Dropped: dropped, Basis: sol.Basis}, nil
 }

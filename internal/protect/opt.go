@@ -4,7 +4,9 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/lp"
 	"repro/internal/mcf"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/spf"
 	"repro/internal/traffic"
@@ -23,13 +25,26 @@ type OptDetour struct {
 	// Base optionally fixes the base routing; nil means OSPF ECMP with
 	// the graph's current weights.
 	Base *routing.Flow
-	// Iterations is the per-scenario solver effort (default 200).
+	// Iterations is the per-scenario solver effort (default 200; the
+	// exact solver ignores it).
 	Iterations int
+	// Exact solves each scenario's detour MCF with the exact LP solver,
+	// warm-started from the first scenario whose shape repeats, instead
+	// of Frank–Wolfe. Any LP failure falls back to the iterative solver
+	// for that scenario. Intended for small topologies.
+	Exact bool
+	// Obs receives the LP solver's "lp." counters from exact solves.
+	Obs *obs.Registry
 
-	// mu guards the lazily built base routing cache.
-	mu       sync.Mutex
+	// mu guards the lazily built base routing cache and the warm basis.
+	mu sync.Mutex
+	// cached is keyed by the demand matrix's content fingerprint, not its
+	// pointer: an in-place-mutated matrix must not serve a stale base
+	// routing.
 	cached   *routing.Flow
-	cachedTM *traffic.Matrix
+	cachedFP uint64
+	haveFP   bool
+	warm     *lp.Basis
 }
 
 // Name implements Scheme.
@@ -41,14 +56,40 @@ func (s *OptDetour) baseFlow(d *traffic.Matrix) *routing.Flow {
 		f.SetDemands(d.At)
 		return f
 	}
+	fp := d.Fingerprint()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cached == nil || s.cachedTM != d {
+	if s.cached == nil || !s.haveFP || s.cachedFP != fp {
 		comms := routing.ODCommodities(s.G.NumNodes(), d.At)
 		s.cached = spf.ECMPFlow(s.G, comms, nil, spf.WeightCost(s.G))
-		s.cachedTM = d
+		s.cachedFP = fp
+		s.haveFP = true
 	}
-	return s.cached
+	// Clone, as the s.Base path does: callers may hold the flow across a
+	// matrix change, and the shared cache must never alias caller state.
+	return s.cached.Clone()
+}
+
+// solveDetour runs one scenario's detour optimization: the exact LP
+// (with a set-once warm basis so parallel evaluations are deterministic)
+// when Exact is set, Frank–Wolfe otherwise or on LP failure.
+func (s *OptDetour) solveDetour(detourComms []routing.Commodity, failed graph.LinkSet, bg []float64, iters int) *mcf.Result {
+	opts := mcf.Options{Alive: failed.Alive(), Background: bg, Iterations: iters}
+	if s.Exact {
+		s.mu.Lock()
+		opts.Warm = s.warm
+		s.mu.Unlock()
+		opts.Obs = s.Obs
+		if res, err := mcf.MinMLUExact(s.G, detourComms, opts); err == nil {
+			s.mu.Lock()
+			if s.warm == nil {
+				s.warm = res.Basis
+			}
+			s.mu.Unlock()
+			return res
+		}
+	}
+	return mcf.MinMLU(s.G, detourComms, opts)
 }
 
 // Loads implements Scheme.
@@ -77,11 +118,7 @@ func (s *OptDetour) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, f
 	if iters == 0 {
 		iters = 200
 	}
-	res := mcf.MinMLU(s.G, detourComms, mcf.Options{
-		Alive:      failed.Alive(),
-		Background: bg,
-		Iterations: iters,
-	})
+	res := s.solveDetour(detourComms, failed, bg, iters)
 	loads := make([]float64, s.G.NumLinks())
 	copy(loads, bg)
 	res.Flow.AddLoads(loads)
@@ -98,8 +135,23 @@ func (s *OptDetour) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, f
 // scenario: the lower bound every performance ratio is measured against.
 type Optimal struct {
 	G *graph.Graph
-	// Iterations is the per-scenario solver effort (default 200).
+	// Iterations is the per-scenario solver effort (default 200; the
+	// exact solver ignores it).
 	Iterations int
+	// Exact solves each scenario with the exact LP solver instead of
+	// Frank–Wolfe, warm-starting from the first solved scenario's basis
+	// (connectivity-preserving scenarios all share one LP shape, so the
+	// dual simplex repairs each re-solve in a few pivots). LP failures
+	// fall back to the iterative solver. Intended for small topologies.
+	Exact bool
+	// Obs receives the LP solver's "lp." counters from exact solves.
+	Obs *obs.Registry
+
+	// mu guards the set-once warm basis: only the first successful solve
+	// publishes its basis, so results never depend on the order in which
+	// concurrent scenario evaluations finish.
+	mu   sync.Mutex
+	warm *lp.Basis
 }
 
 // Name implements Scheme.
@@ -112,7 +164,24 @@ func (s *Optimal) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, flo
 	if iters == 0 {
 		iters = 200
 	}
-	res := mcf.MinMLU(s.G, comms, mcf.Options{Alive: failed.Alive(), Iterations: iters})
+	var res *mcf.Result
+	if s.Exact {
+		s.mu.Lock()
+		warm := s.warm
+		s.mu.Unlock()
+		exact, err := mcf.MinMLUExact(s.G, comms, mcf.Options{Alive: failed.Alive(), Warm: warm, Obs: s.Obs})
+		if err == nil {
+			s.mu.Lock()
+			if s.warm == nil {
+				s.warm = exact.Basis
+			}
+			s.mu.Unlock()
+			res = exact
+		}
+	}
+	if res == nil {
+		res = mcf.MinMLU(s.G, comms, mcf.Options{Alive: failed.Alive(), Iterations: iters})
+	}
 	var lost float64
 	for k := range res.Flow.Comms {
 		if rowZero(res.Flow.Frac[k]) {

@@ -79,11 +79,14 @@ func rowZero(fr []float64) bool {
 type CSPFDetour struct {
 	G *graph.Graph
 	// base caches the failure-free ECMP routing per distinct demand
-	// matrix; recomputed when the matrix changes. Guarded by mu so one
-	// scheme value can serve concurrent scenario evaluations.
-	mu     sync.Mutex
-	base   *routing.Flow
-	baseTM *traffic.Matrix
+	// matrix, keyed by content fingerprint (pointer identity would serve
+	// a stale routing after an in-place matrix mutation); recomputed when
+	// the matrix changes. Guarded by mu so one scheme value can serve
+	// concurrent scenario evaluations.
+	mu       sync.Mutex
+	base     *routing.Flow
+	baseFP   uint64
+	haveBase bool
 }
 
 // Name implements Scheme.
@@ -91,11 +94,13 @@ func (s *CSPFDetour) Name() string { return "OSPF+CSPF-detour" }
 
 // Loads implements Scheme.
 func (s *CSPFDetour) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, float64) {
+	fp := d.Fingerprint()
 	s.mu.Lock()
-	if s.base == nil || s.baseTM != d {
+	if s.base == nil || !s.haveBase || s.baseFP != fp {
 		comms := routing.ODCommodities(s.G.NumNodes(), d.At)
 		s.base = spf.ECMPFlow(s.G, comms, nil, spf.WeightCost(s.G))
-		s.baseTM = d
+		s.baseFP = fp
+		s.haveBase = true
 	}
 	base := s.base
 	s.mu.Unlock()

@@ -1,0 +1,33 @@
+package traffic
+
+import "testing"
+
+func TestFingerprintTracksContent(t *testing.T) {
+	a := NewMatrix(4)
+	a.Set(0, 1, 10)
+	a.Set(2, 3, 5)
+
+	if got, want := a.Fingerprint(), a.Fingerprint(); got != want {
+		t.Fatalf("fingerprint not stable: %x vs %x", got, want)
+	}
+	if got, want := a.Clone().Fingerprint(), a.Fingerprint(); got != want {
+		t.Fatalf("clone fingerprints differently: %x vs %x", got, want)
+	}
+
+	fp := a.Fingerprint()
+	a.Set(0, 1, 11) // in-place mutation must change the fingerprint
+	if a.Fingerprint() == fp {
+		t.Fatalf("in-place mutation kept fingerprint %x", fp)
+	}
+
+	b := NewMatrix(4)
+	b.Set(0, 1, 10)
+	b.Set(2, 3, 5)
+	if b.Fingerprint() == a.Fingerprint() {
+		t.Fatalf("different contents collide")
+	}
+	// Matrices of different size with identical (empty) payloads differ.
+	if NewMatrix(2).Fingerprint() == NewMatrix(3).Fingerprint() {
+		t.Fatalf("size not mixed into fingerprint")
+	}
+}

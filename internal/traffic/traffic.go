@@ -58,6 +58,29 @@ func (m *Matrix) Scale(f float64) *Matrix {
 	return m
 }
 
+// Fingerprint returns a content hash of the matrix (FNV-1a over the
+// demand bits and N). Caches keyed on it see through pointer identity:
+// an in-place-mutated matrix fingerprints differently, while a Clone
+// fingerprints the same.
+func (m *Matrix) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(u uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(m.N))
+	for _, v := range m.d {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
 // Clone returns an independent copy.
 func (m *Matrix) Clone() *Matrix {
 	cp := NewMatrix(m.N)
