@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp fuzz-smoke
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke
 
 all: build vet test
 
@@ -31,6 +31,21 @@ bench-parallel:
 # writes BENCH_lp.json (pivot/refactorization/recovery counters).
 bench-lp:
 	$(GO) test -run '^$$' -bench 'BenchmarkLPColdVsWarm' -benchtime 1x .
+
+# bench-fw times the serial Frank–Wolfe solver on the generated topology
+# against the committed BENCH_parallel.json baseline and writes
+# BENCH_fw.json, then runs the hot-path micro benchmarks (SPF kernel,
+# worst-load selection, full precompute) with allocation accounting.
+bench-fw:
+	$(GO) test -run '^$$' -bench 'BenchmarkFWSummary' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSPF$$|BenchmarkWorstLoad|BenchmarkPrecompute$$' -benchmem .
+
+# profile-fw captures CPU and allocation profiles of a precompute on the
+# generated topology via r3plan's -cpuprofile/-memprofile flags; inspect
+# with `go tool pprof cpu_fw.pprof`.
+profile-fw: build
+	$(GO) run ./cmd/r3plan -net generated -f 1 -effort 100 -workers 1 \
+		-cpuprofile cpu_fw.pprof -memprofile mem_fw.pprof
 
 # fuzz-smoke runs each fuzz target briefly, mirroring the CI job.
 fuzz-smoke:

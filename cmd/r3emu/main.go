@@ -22,13 +22,15 @@ func main() {
 		effort = flag.Int("effort", 120, "R3 precompute effort")
 		seed   = flag.Int64("seed", 1, "packet jitter seed")
 
-		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
-		traceOut  = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
-		verbose   = flag.Bool("v", false, "info-level logging")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
+		traceOut   = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
+		verbose    = flag.Bool("v", false, "info-level logging")
 	)
 	flag.Parse()
 
-	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *verbose)
+	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *cpuProfile, *memProfile, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "r3emu:", err)
 		os.Exit(1)

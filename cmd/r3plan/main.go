@@ -42,13 +42,15 @@ func main() {
 		verify    = flag.Int("verify", 0, "audit the plan by enumerating failure sets of up to N links")
 		verifyCap = flag.Int("verifycap", 20000, "max scenarios for -verify (0 = unlimited)")
 
-		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
-		traceOut  = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
-		verbose   = flag.Bool("v", false, "info-level logging")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
+		traceOut   = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
+		verbose    = flag.Bool("v", false, "info-level logging")
 	)
 	flag.Parse()
 
-	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *verbose)
+	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *cpuProfile, *memProfile, *verbose)
 	if err != nil {
 		fatal(err)
 	}

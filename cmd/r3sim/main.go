@@ -24,24 +24,26 @@ import (
 
 func main() {
 	var (
-		which     = flag.String("exp", "table1", "experiment: table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation")
-		failures  = flag.Int("failures", 2, "failure count for fig5/fig6/fig7 (2 or 3)")
-		day       = flag.Int("day", 1, "day index for fig3 (0-6)")
-		effort    = flag.Int("effort", 0, "precompute effort (0 = default)")
-		optIter   = flag.Int("optiter", 0, "per-scenario optimal solver effort")
-		scenarios = flag.Int("scenarios", 0, "max sampled scenarios")
-		days      = flag.Int("days", 0, "days for week-scale experiments")
-		beta      = flag.Float64("beta", 1.1, "penalty envelope for fig9")
-		seed      = flag.Int64("seed", 1, "random seed")
-		quick     = flag.Bool("quick", false, "reduced-scale smoke run")
-		outFile   = flag.String("o", "", "write output to this file instead of stdout")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
-		traceOut  = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
-		verbose   = flag.Bool("v", false, "info-level logging")
+		which      = flag.String("exp", "table1", "experiment: table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation")
+		failures   = flag.Int("failures", 2, "failure count for fig5/fig6/fig7 (2 or 3)")
+		day        = flag.Int("day", 1, "day index for fig3 (0-6)")
+		effort     = flag.Int("effort", 0, "precompute effort (0 = default)")
+		optIter    = flag.Int("optiter", 0, "per-scenario optimal solver effort")
+		scenarios  = flag.Int("scenarios", 0, "max sampled scenarios")
+		days       = flag.Int("days", 0, "days for week-scale experiments")
+		beta       = flag.Float64("beta", 1.1, "penalty envelope for fig9")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick", false, "reduced-scale smoke run")
+		outFile    = flag.String("o", "", "write output to this file instead of stdout")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
+		traceOut   = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocs profile to this file at exit")
+		verbose    = flag.Bool("v", false, "info-level logging")
 	)
 	flag.Parse()
 
-	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *verbose)
+	reg, obsCleanup, err := obs.SetupCLI(*debugAddr, *traceOut, *cpuProfile, *memProfile, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "r3sim:", err)
 		os.Exit(1)

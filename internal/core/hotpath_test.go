@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestColTopRandomizedDifferential drives a colTop through long random
+// update sequences — the exact workload of the p block sweep — and after
+// every mutation checks worstArb and stats against the reference scans
+// (sumTopK, insertionStats) on the full column. Any drift in the
+// incremental maintenance would surface here bit for bit.
+func TestColTopRandomizedDifferential(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		nL := 20 + int(seed)*13
+		maxF := 1 + int(seed)%4
+		K := maxF + 1
+		col := make([]float64, nL)
+		for l := range col {
+			// Mix of zeros, duplicates and distinct positives: ties exercise
+			// the (value desc, index asc) total order.
+			switch rng.Intn(4) {
+			case 0:
+				col[l] = 0
+			case 1:
+				col[l] = 5
+			default:
+				col[l] = rng.Float64() * 10
+			}
+		}
+		var top colTop
+		top.rebuild(col, K)
+
+		check := func(step int) {
+			t.Helper()
+			for F := 1; F <= maxF; F++ {
+				if F < nL {
+					if got, want := top.worstArb(F), sumTopK(col, F, nil); got != want {
+						t.Fatalf("seed %d step %d F=%d: worstArb %v, sumTopK %v", seed, step, F, got, want)
+					}
+				}
+				for trial := 0; trial < 4; trial++ {
+					skip := rng.Intn(nL)
+					s1, a1 := top.stats(int32(skip), F)
+					s2, a2 := insertionStats(col, skip, F)
+					if s1 != s2 || a1 != a2 {
+						t.Fatalf("seed %d step %d F=%d skip=%d: stats (%v,%v), reference (%v,%v)",
+							seed, step, F, skip, s1, a1, s2, a2)
+					}
+				}
+			}
+		}
+		check(-1)
+		for step := 0; step < 600; step++ {
+			l := rng.Intn(nL)
+			var nv float64
+			switch rng.Intn(5) {
+			case 0:
+				nv = 0 // drop to inactive
+			case 1:
+				nv = col[l] // no-op value (a real case: gamma = 0 rejected move)
+			case 2:
+				nv = 5 // collide with the duplicate plateau
+			default:
+				nv = rng.Float64() * 10
+			}
+			col[l] = nv
+			top.update(int32(l), nv, col, K)
+			check(step)
+		}
+	}
+}
+
+// TestWorstLoadSelectionDifferential pins the quickselect branch of
+// sumTopK (k > 32) and both failure models against sort-based references
+// over random vectors: identical sums AND identical marked active sets.
+func TestWorstLoadSelectionDifferential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		n := 80 + rng.Intn(120)
+		v := make([]float64, n)
+		for i := range v {
+			switch rng.Intn(5) {
+			case 0:
+				v[i] = -rng.Float64() // never selected
+			case 1:
+				v[i] = 3.25 // plateau of exact ties
+			default:
+				v[i] = rng.Float64() * 8
+			}
+		}
+		// Sort-based reference for the top-k sum, summing in descending
+		// order with index-ascending tie-break: the documented bit-identity
+		// order of the selection path.
+		refTopK := func(k int) (float64, map[int]bool) {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return rankBefore(v, idx[a], idx[b]) })
+			s, sel := 0.0, map[int]bool{}
+			for i := 0; i < k && i < n; i++ {
+				if v[idx[i]] <= 0 {
+					break
+				}
+				s += v[idx[i]]
+				sel[idx[i]] = true
+			}
+			return s, sel
+		}
+		for _, k := range []int{1, 2, 31, 32, 33, 40, 64, n - 1} {
+			m := ArbitraryFailures{F: k}
+			want, wantSel := refTopK(k)
+			if got := m.WorstLoad(v); got != want {
+				t.Fatalf("seed %d k=%d: WorstLoad %v, reference %v", seed, k, got, want)
+			}
+			y := make([]float64, n)
+			m.ActiveSet(v, y)
+			for i := range y {
+				if (y[i] == 1) != wantSel[i] {
+					t.Fatalf("seed %d k=%d: ActiveSet[%d] = %v, reference selected=%v", seed, k, i, y[i], wantSel[i])
+				}
+			}
+		}
+
+		// GroupFailures with disjoint groups: greedy top-K group selection is
+		// exact, so brute-force enumeration over all <=K subsets must agree.
+		nG := 6
+		per := n / nG
+		grp := make([][]graph.LinkID, nG)
+		for gi := 0; gi < nG; gi++ {
+			for l := gi * per; l < (gi+1)*per; l++ {
+				grp[gi] = append(grp[gi], graph.LinkID(l))
+			}
+		}
+		gval := make([]float64, nG)
+		for gi, g := range grp {
+			for _, l := range g {
+				if v[l] > 0 {
+					gval[gi] += v[l]
+				}
+			}
+		}
+		for _, K := range []int{1, 2, 3} {
+			m := GroupFailures{SRLGs: grp[:4], MLGs: grp[4:], K: K}
+			best := 0.0
+			for mask := 0; mask < 1<<4; mask++ {
+				cnt, s := 0, 0.0
+				for gi := 0; gi < 4; gi++ {
+					if mask&(1<<gi) != 0 {
+						cnt++
+						s += gval[gi]
+					}
+				}
+				if cnt > K {
+					continue
+				}
+				for mi := -1; mi < 2; mi++ { // no MLG, MLG 0, MLG 1
+					tot := s
+					if mi >= 0 {
+						tot += gval[4+mi]
+					}
+					if tot > best {
+						best = tot
+					}
+				}
+			}
+			// The greedy sum associates in value-descending group order while
+			// the brute force sums in mask order, so allow last-bit slack;
+			// the selected value must still match to within rounding.
+			if got := m.WorstLoad(v); math.Abs(got-best) > 1e-9*(1+best) {
+				t.Fatalf("seed %d K=%d: group WorstLoad %v, brute force %v", seed, K, got, best)
+			}
+		}
+	}
+}
+
+// newTestFWState assembles a minimal solver state over g with one
+// ArbitraryFailures requirement, shortest-path-free initial fractions and
+// a serial pool — enough to exercise the arena-backed evaluation path.
+func newTestFWState(t testing.TB, g *graph.Graph, F int) *fwState {
+	t.Helper()
+	d := traffic.Gravity(g, 0.1*g.TotalCapacity(), 3)
+	comms := routing.ODCommodities(g.NumNodes(), d.At)
+	nK, nL := len(comms), g.NumLinks()
+	dem := make([]float64, nK)
+	R := newMatrix(nK, nL)
+	for k, c := range comms {
+		dem[k] = c.Demand
+		// Spread each commodity over the source's outgoing links; objective
+		// only needs some fixed fractions, not a consistent routing.
+		out := g.Out(c.Src)
+		for _, id := range out {
+			R[k][id] = 1 / float64(len(out))
+		}
+	}
+	P := newMatrix(nL, nL)
+	capac := make([]float64, nL)
+	for l := 0; l < nL; l++ {
+		capac[l] = g.Link(graph.LinkID(l)).Capacity
+		P[l][(l+1)%nL] = 1
+	}
+	return &fwState{
+		g: g, comms: comms, capac: capac,
+		reqs: []requirement{{demands: dem, model: ArbitraryFailures{F: F}}},
+		R:    R, P: P,
+		pool: par.Serial,
+	}
+}
+
+// TestObjectiveZeroAllocsWarmArena pins the arena fix: with warm buffers
+// on a serial pool, the true-objective evaluation (baseLoads + columns +
+// worst-load scan) must not allocate at all. This is the call the epoch
+// loop makes after every accepted step — it used to build a fresh loads
+// matrix each time.
+func TestObjectiveZeroAllocsWarmArena(t *testing.T) {
+	s := newTestFWState(t, mesh6(t), 2)
+	first := s.objective() // warm objLoads and pcol
+	if n := testing.AllocsPerRun(20, func() {
+		if got := s.objective(); got != first {
+			t.Fatalf("objective drifted: %v vs %v", got, first)
+		}
+	}); n != 0 {
+		t.Fatalf("warm objective allocates %v per run, want 0", n)
+	}
+}
+
+// TestBaseLoadsColumnsZeroAllocsWarm: the two arena-backed matrix
+// producers must also be allocation-free once warm on the inline path.
+func TestBaseLoadsColumnsZeroAllocsWarm(t *testing.T) {
+	s := newTestFWState(t, mesh6(t), 1)
+	s.ensureArena()
+	s.baseLoads(s.R, s.ar.loads)
+	s.pcol = s.columns(s.P, s.pcol)
+	if n := testing.AllocsPerRun(20, func() {
+		s.baseLoads(s.R, s.ar.loads)
+	}); n != 0 {
+		t.Fatalf("warm baseLoads allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		s.columns(s.P, s.pcol)
+	}); n != 0 {
+		t.Fatalf("warm columns allocates %v per run, want 0", n)
+	}
+}
+
+// TestPrecomputeDeterministicInlineVsPooled extends the worker-count
+// determinism contract across the runtime dimension: a wide pool clamped
+// to one scheduling slot takes the inline fast paths (plain loops, no
+// goroutines), and its plan must stay byte-identical to both the serial
+// plan and the genuinely concurrent plan.
+func TestPrecomputeDeterministicInlineVsPooled(t *testing.T) {
+	g := topo.Mesh("det-inline", 10, 30, 21, 1000)
+	d := traffic.Gravity(g, 800, 22)
+	cfg := Config{Model: ArbitraryFailures{F: 1}, Iterations: 25}
+
+	want := encodePlan(t, precomputeAt(t, g, d, cfg, 1))
+
+	prev := runtime.GOMAXPROCS(1)
+	inline := encodePlan(t, precomputeAt(t, g, d, cfg, 8))
+	runtime.GOMAXPROCS(4)
+	pooled := encodePlan(t, precomputeAt(t, g, d, cfg, 8))
+	runtime.GOMAXPROCS(prev)
+
+	if !bytes.Equal(inline, want) {
+		t.Fatal("inline (GOMAXPROCS=1) plan differs from serial plan")
+	}
+	if !bytes.Equal(pooled, want) {
+		t.Fatal("pooled (GOMAXPROCS=4) plan differs from serial plan")
+	}
+}

@@ -111,23 +111,74 @@ func sumTopK(v []float64, k int, mark []float64) float64 {
 		}
 		return s
 	}
+	// Large k: partial selection instead of a full sort. Quickselect on
+	// the strict total order (value descending, index ascending) places
+	// the k best entries first in O(n) expected time; only that prefix is
+	// then sorted so the summation order — descending values — matches
+	// the sorted reference bit for bit (entries tied in value contribute
+	// identically in either order). Tie-broken selection also makes the
+	// marked active set deterministic, where a full unstable sort was not.
 	idx := make([]int, len(v))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	topKSelect(v, idx, k)
+	top := idx[:k]
+	sort.Slice(top, func(a, b int) bool { return rankBefore(v, top[a], top[b]) })
 	var s float64
 	for i := 0; i < k; i++ {
-		x := v[idx[i]]
+		x := v[top[i]]
 		if x <= 0 {
 			break
 		}
 		s += x
 		if mark != nil {
-			mark[idx[i]] = 1
+			mark[top[i]] = 1
 		}
 	}
 	return s
+}
+
+// rankBefore reports whether entry a outranks entry b under the strict
+// total order "value descending, index ascending".
+func rankBefore(v []float64, a, b int) bool {
+	return v[a] > v[b] || (v[a] == v[b] && a < b)
+}
+
+// topKSelect partially reorders idx (a permutation of [0, len(v))) so that
+// idx[:k] holds the k highest-ranked entries under rankBefore, in
+// arbitrary order. Hoare-partition quickselect with a middle pivot:
+// expected O(n), no allocation.
+func topKSelect(v []float64, idx []int, k int) {
+	lo, hi := 0, len(idx)
+	for hi-lo > 1 {
+		if k <= lo || k >= hi {
+			return
+		}
+		p := idx[lo+(hi-lo)/2]
+		i, j := lo, hi-1
+		for i <= j {
+			for rankBefore(v, idx[i], p) {
+				i++
+			}
+			for rankBefore(v, p, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// idx[lo..j] outrank idx[i..hi-1]; the gap (if any) equals p.
+		if k <= j+1 {
+			hi = j + 1
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
 }
 
 // GroupFailures is the structured model of equation (18): up to K

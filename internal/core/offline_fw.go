@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/lp"
@@ -388,24 +389,146 @@ type fwState struct {
 
 	// scratch
 	pcol [][]float64 // [link e][protected l]: c_l * P[l][e]
+
+	// hot-path arenas: every per-epoch buffer the solver used to allocate
+	// lives here and is reused across epochs (see DESIGN.md §9). csr is
+	// the flat graph view the SPF kernel reads; tops maintains each pcol
+	// column's largest entries incrementally when every requirement is an
+	// ArbitraryFailures model (topK = max F + 1; 0 disables it).
+	csr     *graph.CSR
+	ar      fwArena
+	tops    []colTop
+	topK    int
+	spfPool spf.ScratchPool
+	bufMu   sync.Mutex
+	bufFree [][]float64 // free list of len-nL rows for per-worker scratch
 }
 
-// baseLoads computes per-requirement per-link base loads for fractions R.
-// Work is split over (requirement, link-chunk) tasks: each link cell is
-// summed over commodities in ascending k order by exactly one worker, so
-// the result is bit-identical for any worker count.
-func (s *fwState) baseLoads(R [][]float64) [][]float64 {
+// fwArena holds the solver's reusable buffers. Ownership rule: a buffer is
+// either fully overwritten by its producer before any read (q, us, dirR,
+// dirP, pcolDir, dirLoads, rCost, diff) or explicitly zeroed at the start
+// of the producing pass (costP, loads); consumers never read a buffer
+// across an epoch boundary.
+type fwArena struct {
+	objLoads [][]float64 // objective(): base loads [req][link]
+	loads    [][]float64 // run(): epoch base loads [req][link]
+	q        [][]float64 // softmax gradient weights [req][link]
+	u0       [][]float64 // r-sweep: static utilizations [req][link]
+	expu     [][]float64 // r-sweep: cached exp terms for u0 [req][link]
+	diff     []float64   // r-sweep: xDir - rk per link
+	active   []int32     // r-sweep: links with nonzero diff
+	dirR     [][]float64 // global step: direction fractions [commodity][link]
+	dirLoads [][]float64 // global step: direction loads [req][link]
+	dirP     [][]float64 // global step: direction protection [link][link]
+	pcolDir  [][]float64 // global step: direction columns [link][link]
+	us       []float64   // global step: utilization cells [req*link]
+	costP    [][]float64 // pDirections: gradient costs [protected][link]
+	rCost    []float64   // rDirections: shared cost row (single requirement)
+	rPaths   [][]graph.LinkID
+	pPaths   [][]graph.LinkID
+	rPathBuf [][]graph.LinkID // retained path storage per commodity
+	pPathBuf [][]graph.LinkID // retained path storage per protected link
+	dsts     []graph.NodeID   // rDirections: sorted distinct destinations
+	dstComms [][]int          // rDirections: commodities per destination
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+// ensureArena sizes the reusable buffers once per solve.
+func (s *fwState) ensureArena() {
+	if s.ar.q != nil {
+		return
+	}
+	nI, nK, nL := len(s.reqs), len(s.comms), s.g.NumLinks()
+	a := &s.ar
+	a.loads = newMatrix(nI, nL)
+	a.q = newMatrix(nI, nL)
+	a.u0 = newMatrix(nI, nL)
+	a.expu = newMatrix(nI, nL)
+	a.diff = make([]float64, nL)
+	a.active = make([]int32, nL)
+	a.dirR = newMatrix(nK, nL)
+	a.dirLoads = newMatrix(nI, nL)
+	a.dirP = newMatrix(nL, nL)
+	a.pcolDir = newMatrix(nL, nL)
+	a.us = make([]float64, nI*nL)
+	a.costP = newMatrix(nL, nL)
+	a.rCost = make([]float64, nL)
+	a.rPaths = make([][]graph.LinkID, nK)
+	a.pPaths = make([][]graph.LinkID, nL)
+	a.rPathBuf = make([][]graph.LinkID, nK)
+	a.pPathBuf = make([][]graph.LinkID, nL)
+}
+
+// getBuf and putBuf recycle len-nL float rows for per-worker scratch in
+// parallel loops (scratch contents never affect results, so recycling
+// order is immaterial to determinism).
+func (s *fwState) getBuf() []float64 {
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	if n := len(s.bufFree); n > 0 {
+		b := s.bufFree[n-1]
+		s.bufFree = s.bufFree[:n-1]
+		return b
+	}
+	return make([]float64, s.g.NumLinks())
+}
+
+func (s *fwState) putBuf(b []float64) {
+	s.bufMu.Lock()
+	s.bufFree = append(s.bufFree, b)
+	s.bufMu.Unlock()
+}
+
+// baseLoads computes per-requirement per-link base loads for fractions R
+// into dst (allocated when nil). Work is split over (requirement,
+// link-chunk) tasks: each link cell is zeroed and then summed over
+// commodities in ascending k order by exactly one worker, so the result is
+// bit-identical for any worker count; the inline variant runs the same
+// zero-then-accumulate per cell without spawning closures, so warm calls
+// are allocation-free on a serial pool.
+func (s *fwState) baseLoads(R [][]float64, dst [][]float64) [][]float64 {
 	nL := s.g.NumLinks()
-	loads := make([][]float64, len(s.reqs))
-	for i := range s.reqs {
-		loads[i] = make([]float64, nL)
+	if dst == nil {
+		dst = newMatrix(len(s.reqs), nL)
+	}
+	if s.pool.Inline() {
+		for i := range s.reqs {
+			dem := s.reqs[i].demands
+			li := dst[i]
+			for e := range li {
+				li[e] = 0
+			}
+			for k := range s.comms {
+				d := dem[k]
+				if d == 0 {
+					continue
+				}
+				rk := R[k]
+				for e := 0; e < nL; e++ {
+					if v := rk[e]; v != 0 {
+						li[e] += d * v
+					}
+				}
+			}
+		}
+		return dst
 	}
 	nC := par.NumChunks(nL)
 	s.pool.ForEach(len(s.reqs)*nC, func(t int) {
 		i := t / nC
 		lo, hi := par.Chunk(nL, t%nC)
 		dem := s.reqs[i].demands
-		li := loads[i]
+		li := dst[i]
+		for e := lo; e < hi; e++ {
+			li[e] = 0
+		}
 		for k := range s.comms {
 			d := dem[k]
 			if d == 0 {
@@ -419,7 +542,7 @@ func (s *fwState) baseLoads(R [][]float64) [][]float64 {
 			}
 		}
 	})
-	return loads
+	return dst
 }
 
 // columns builds pcol[e][l] = c_l * P[l][e].
@@ -432,7 +555,26 @@ func (s *fwState) columns(P [][]float64, dst [][]float64) [][]float64 {
 		}
 	}
 	// Each worker owns a contiguous range of columns dst[e][·]; entries
-	// are pure assignments, so any split is bit-identical to serial.
+	// are pure assignments, so any split is bit-identical to serial. The
+	// inline variant performs the same assignments with plain loops.
+	if s.pool.Inline() {
+		for e := 0; e < nL; e++ {
+			col := dst[e]
+			for l := range col {
+				col[l] = 0
+			}
+		}
+		for l := 0; l < nL; l++ {
+			cl := s.capac[l]
+			pl := P[l]
+			for e := 0; e < nL; e++ {
+				if v := pl[e]; v != 0 {
+					dst[e][l] = cl * v
+				}
+			}
+		}
+		return dst
+	}
 	s.pool.ForEachChunk(nL, func(lo, hi int) {
 		for e := lo; e < hi; e++ {
 			col := dst[e]
@@ -454,12 +596,29 @@ func (s *fwState) columns(P [][]float64, dst [][]float64) [][]float64 {
 }
 
 // objective evaluates the true (non-smoothed) objective of the current
-// iterate: max over requirements and links of utilization.
+// iterate: max over requirements and links of utilization. Per-cell values
+// feed a max, which is order-insensitive, so the inline and chunk-reduced
+// evaluations agree bit for bit.
 func (s *fwState) objective() float64 {
-	loads := s.baseLoads(s.R)
-	s.pcol = s.columns(s.P, s.pcol)
 	nL := s.g.NumLinks()
+	if s.ar.objLoads == nil {
+		s.ar.objLoads = newMatrix(len(s.reqs), nL)
+	}
+	loads := s.baseLoads(s.R, s.ar.objLoads)
+	s.pcol = s.columns(s.P, s.pcol)
 	worst := 0.0
+	if s.pool.Inline() {
+		for i := range s.reqs {
+			li := loads[i]
+			model := s.reqs[i].model
+			for e := 0; e < nL; e++ {
+				if u := (li[e] + model.WorstLoad(s.pcol[e])) / s.capac[e]; u > worst {
+					worst = u
+				}
+			}
+		}
+		return worst
+	}
 	for i := range s.reqs {
 		li := loads[i]
 		model := s.reqs[i].model
@@ -526,25 +685,81 @@ func (s *fwState) run(effort int) {
 	}
 
 	s.bestObj = math.Inf(1)
+	s.ensureArena()
+	s.csr = s.g.CSR()
 
-	loads := s.baseLoads(s.R)
+	// Incremental top-F selection per pcol column: valid whenever every
+	// model is ArbitraryFailures. K is one more than the largest F so the
+	// per-link line-search stats (which exclude one index) always find
+	// enough entries in the buffer.
+	s.topK = 0
+	if allArb {
+		maxF := 0
+		for _, f := range arbF {
+			if f > maxF {
+				maxF = f
+			}
+		}
+		s.topK = maxF + 1
+		if s.tops == nil {
+			s.tops = make([]colTop, nL)
+		}
+	}
+	rebuildTops := func() {
+		if s.topK == 0 {
+			return
+		}
+		if s.pool.Inline() {
+			for e := 0; e < nL; e++ {
+				s.tops[e].rebuild(s.pcol[e], s.topK)
+			}
+			return
+		}
+		s.pool.ForEachChunk(nL, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				s.tops[e].rebuild(s.pcol[e], s.topK)
+			}
+		})
+	}
+
+	loads := s.baseLoads(s.R, s.ar.loads)
 	s.pcol = s.columns(s.P, s.pcol)
 	W := make([][]float64, nI)
 	for i := range W {
 		W[i] = make([]float64, nL)
 	}
 	nC := par.NumChunks(nL)
+	fillW := func(i, lo, hi int) {
+		Wi := W[i]
+		// The maintained top buffers answer sumTopK bit for bit as long as
+		// F stays below the column length (the reference switches to
+		// index-order summation at F >= len).
+		if s.topK > 0 && arbF[i] < nL {
+			F := arbF[i]
+			for e := lo; e < hi; e++ {
+				Wi[e] = s.tops[e].worstArb(F)
+			}
+			return
+		}
+		model := s.reqs[i].model
+		for e := lo; e < hi; e++ {
+			Wi[e] = model.WorstLoad(s.pcol[e])
+		}
+	}
 	recomputeW := func() {
+		if s.pool.Inline() {
+			for i := 0; i < nI; i++ {
+				fillW(i, 0, nL)
+			}
+			return
+		}
 		s.pool.ForEach(nI*nC, func(t int) {
 			i := t / nC
 			lo, hi := par.Chunk(nL, t%nC)
-			model := s.reqs[i].model
-			Wi := W[i]
-			for e := lo; e < hi; e++ {
-				Wi[e] = model.WorstLoad(s.pcol[e])
-			}
+			fillW(i, lo, hi)
 		})
 	}
+	rebuildTops()
 	recomputeW()
 
 	rowU := func(i, e int) float64 { return (loads[i][e] + W[i][e]) / s.capac[e] }
@@ -604,18 +819,24 @@ func (s *fwState) run(effort int) {
 		// ---- Softmax gradient weights ----
 		// The exp fill is slot-parallel; the normalizing sum stays serial
 		// in (i, e) order so its float association never changes.
-		q := make([][]float64, nI)
-		for i := 0; i < nI; i++ {
-			q[i] = make([]float64, nL)
-		}
-		s.pool.ForEach(nI*nC, func(t int) {
-			i := t / nC
-			lo, hi := par.Chunk(nL, t%nC)
-			qi := q[i]
-			for e := lo; e < hi; e++ {
-				qi[e] = math.Exp((rowU(i, e) - obj) / mu)
+		q := s.ar.q
+		if s.pool.Inline() {
+			for i := 0; i < nI; i++ {
+				qi := q[i]
+				for e := 0; e < nL; e++ {
+					qi[e] = math.Exp((rowU(i, e) - obj) / mu)
+				}
 			}
-		})
+		} else {
+			s.pool.ForEach(nI*nC, func(t int) {
+				i := t / nC
+				lo, hi := par.Chunk(nL, t%nC)
+				qi := q[i]
+				for e := lo; e < hi; e++ {
+					qi[e] = math.Exp((rowU(i, e) - obj) / mu)
+				}
+			})
+		}
 		var zsum float64
 		for i := 0; i < nI; i++ {
 			for e := 0; e < nL; e++ {
@@ -643,12 +864,72 @@ func (s *fwState) run(effort int) {
 		gamma := s.globalStep(loads, W, q, rPaths, pPaths, mu)
 		gsSp.End()
 		s.o.step.Set(gamma)
+		rebuildTops()
 		recomputeW()
-		copyLoads(loads, s.baseLoads(s.R))
+		s.baseLoads(s.R, loads)
 
 		// ---- r block sweep ----
+		// A commodity block moves at most the links on its oracle path and
+		// its current support; every other (requirement, link) cell is
+		// static during the line search. The reference evaluation computes
+		// u = (loads + gamma*d*(xDir-rk) + W) / capac for every cell; for a
+		// static cell the middle term is a signed zero (gamma*d >= 0 times
+		// diff, which is +0 when zero, or gamma*0 = +0 times any diff,
+		// which is at worst -0), and adding a signed zero to loads (never
+		// -0: base loads are sums of nonnegative terms with exact
+		// cancellation rounding to +0) reproduces loads bitwise. Static
+		// utilizations u0 are therefore constant across the whole sweep
+		// between accepted blocks, and their exp terms exp((u0 - worst)/mu)
+		// depend only on the current reference point `worst`: they are
+		// cached in expu keyed on cachedWorst and refilled only when worst
+		// moves. The z sum still walks every (i, e) cell in ascending order
+		// adding bitwise-identical values, so the evaluation — and the
+		// accepted plan — matches the reference exactly while computing
+		// math.Exp only for the few active cells plus cache refills.
 		rSweepSp := epochSp.Child("r-sweep")
 		if s.optimizeBase {
+			u0 := s.ar.u0
+			expu := s.ar.expu
+			diff := s.ar.diff
+			act := s.ar.active
+			fillU0 := func(i, lo, hi int) {
+				li, Wi, u0i := loads[i], W[i], u0[i]
+				for e := lo; e < hi; e++ {
+					u0i[e] = (li[e] + Wi[e]) / s.capac[e]
+				}
+			}
+			if s.pool.Inline() {
+				for i := 0; i < nI; i++ {
+					fillU0(i, 0, nL)
+				}
+			} else {
+				s.pool.ForEach(nI*nC, func(t int) {
+					i := t / nC
+					lo, hi := par.Chunk(nL, t%nC)
+					fillU0(i, lo, hi)
+				})
+			}
+			cachedWorst := math.NaN()
+			refill := func(worst float64) {
+				fill := func(i, lo, hi int) {
+					u0i, ei := u0[i], expu[i]
+					for e := lo; e < hi; e++ {
+						ei[e] = math.Exp((u0i[e] - worst) / mu)
+					}
+				}
+				if s.pool.Inline() {
+					for i := 0; i < nI; i++ {
+						fill(i, 0, nL)
+					}
+				} else {
+					s.pool.ForEach(nI*nC, func(t int) {
+						i := t / nC
+						lo, hi := par.Chunk(nL, t%nC)
+						fill(i, lo, hi)
+					})
+				}
+				cachedWorst = worst
+			}
 			for k := range s.comms {
 				path := rPaths[k]
 				if path == nil {
@@ -661,23 +942,89 @@ func (s *fwState) run(effort int) {
 					xDir[id] = 1
 				}
 				rk := s.R[k]
+				nAct := 0
+				for e := 0; e < nL; e++ {
+					d := xDir[e] - rk[e]
+					diff[e] = d
+					if d != 0 {
+						act[nAct] = int32(e)
+						nAct++
+					}
+				}
+				hasDemand := false
+				for i := 0; i < nI; i++ {
+					if s.reqs[i].demands[k] != 0 {
+						hasDemand = true
+						break
+					}
+				}
+				if nAct == 0 || !hasDemand {
+					// Every cell is static: the reference evaluation is
+					// constant in gamma, so its accept test
+					// eval(gamma) >= eval(0) - 1e-15 always rejects, and a
+					// rejected block leaves rk, loads and the caches
+					// untouched. Skipping is bit-identical.
+					continue
+				}
+				// Max over the static cells; max is order-insensitive, so
+				// folding them per row here and merging with the active
+				// cells below reproduces the reference max exactly.
+				staticMax := 0.0
+				for i := 0; i < nI; i++ {
+					u0i := u0[i]
+					if s.reqs[i].demands[k] == 0 {
+						for e := 0; e < nL; e++ {
+							if u0i[e] > staticMax {
+								staticMax = u0i[e]
+							}
+						}
+						continue
+					}
+					for e := 0; e < nL; e++ {
+						if diff[e] == 0 && u0i[e] > staticMax {
+							staticMax = u0i[e]
+						}
+					}
+				}
 				eval := func(gamma float64) float64 {
-					worst := 0.0
+					worst := staticMax
 					for i := 0; i < nI; i++ {
 						d := s.reqs[i].demands[k]
-						for e := 0; e < nL; e++ {
-							u := (loads[i][e] + gamma*d*(xDir[e]-rk[e]) + W[i][e]) / s.capac[e]
+						if d == 0 {
+							continue
+						}
+						gd := gamma * d
+						li, Wi := loads[i], W[i]
+						for _, e32 := range act[:nAct] {
+							e := int(e32)
+							u := (li[e] + gd*diff[e] + Wi[e]) / s.capac[e]
 							if u > worst {
 								worst = u
 							}
 						}
 					}
+					if worst != cachedWorst {
+						refill(worst)
+					}
 					var z float64
 					for i := 0; i < nI; i++ {
 						d := s.reqs[i].demands[k]
+						ei := expu[i]
+						if d == 0 {
+							for e := 0; e < nL; e++ {
+								z += ei[e]
+							}
+							continue
+						}
+						gd := gamma * d
+						li, Wi := loads[i], W[i]
 						for e := 0; e < nL; e++ {
-							u := (loads[i][e] + gamma*d*(xDir[e]-rk[e]) + W[i][e]) / s.capac[e]
-							z += math.Exp((u - worst) / mu)
+							if diff[e] != 0 {
+								u := (li[e] + gd*diff[e] + Wi[e]) / s.capac[e]
+								z += math.Exp((u - worst) / mu)
+							} else {
+								z += ei[e]
+							}
 						}
 					}
 					return worst + mu*math.Log(z)
@@ -691,12 +1038,28 @@ func (s *fwState) run(effort int) {
 					if d == 0 {
 						continue
 					}
-					for e := 0; e < nL; e++ {
-						loads[i][e] += gamma * d * (xDir[e] - rk[e])
+					li := loads[i]
+					for _, e32 := range act[:nAct] {
+						e := int(e32)
+						li[e] += gamma * d * diff[e]
 					}
 				}
 				for e := 0; e < nL; e++ {
 					rk[e] = (1-gamma)*rk[e] + gamma*xDir[e]
+				}
+				// The accepted step moved loads only on active cells of
+				// rows with demand; refresh their static view and exp cache
+				// (at the current reference point) for the next blocks.
+				for i := 0; i < nI; i++ {
+					if s.reqs[i].demands[k] == 0 {
+						continue
+					}
+					li, Wi, u0i, ei := loads[i], W[i], u0[i], expu[i]
+					for _, e32 := range act[:nAct] {
+						e := int(e32)
+						u0i[e] = (li[e] + Wi[e]) / s.capac[e]
+						ei[e] = math.Exp((u0i[e] - cachedWorst) / mu)
+					}
 				}
 			}
 		}
@@ -724,18 +1087,28 @@ func (s *fwState) run(effort int) {
 				// Insertion stats: top-(F-1) sum and F-th largest of the
 				// column with entry l excluded; then the worst virtual
 				// load as a function of x = c_l p_l(e) is
-				// sFm1 + max(x, aF). This O(reqs × links²) scan per
-				// protected link is the sweep's dominant cost; each cell
-				// is a pure function of pcol, so it is slot-parallel.
-				s.pool.ForEach(nI*nC, func(t int) {
-					i := t / nC
-					lo, hi := par.Chunk(nL, t%nC)
+				// sFm1 + max(x, aF). The maintained colTop buffers answer
+				// both in O(F) per cell instead of rescanning the column,
+				// bit-identical to insertionStats (same selection order,
+				// same summation order).
+				fillStats := func(i, lo, hi int) {
 					F := arbF[i]
 					sfi, afi := sFm1[i], aF[i]
 					for e := lo; e < hi; e++ {
-						sfi[e], afi[e] = insertionStats(s.pcol[e], l, F)
+						sfi[e], afi[e] = s.tops[e].stats(int32(l), F)
 					}
-				})
+				}
+				if s.pool.Inline() {
+					for i := 0; i < nI; i++ {
+						fillStats(i, 0, nL)
+					}
+				} else {
+					s.pool.ForEach(nI*nC, func(t int) {
+						i := t / nC
+						lo, hi := par.Chunk(nL, t%nC)
+						fillStats(i, lo, hi)
+					})
+				}
 				evalW = func(i, e int, x float64) float64 {
 					if x > aF[i][e] {
 						return sFm1[i][e] + x
@@ -803,9 +1176,13 @@ func (s *fwState) run(effort int) {
 				continue
 			}
 			for e := 0; e < nL; e++ {
-				nv := (1-gamma)*s.pcol[e][l] + gamma*xDir[e]
+				old := s.pcol[e][l]
+				nv := (1-gamma)*old + gamma*xDir[e]
 				s.pcol[e][l] = nv
 				pl[e] = nv / cl
+				if s.topK > 0 && nv != old {
+					s.tops[e].update(int32(l), nv, s.pcol[e], s.topK)
+				}
 			}
 			// Refresh W from the accepted step. The fast-path evalW
 			// closures only read precomputed stats; the generic fallback
@@ -849,44 +1226,60 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 	nI := len(s.reqs)
 	_ = W
 
-	// Direction loads for r.
-	dirR := make([][]float64, len(s.comms))
-	s.pool.ForEach(len(s.comms), func(k int) {
-		dirR[k] = make([]float64, nL)
+	// Direction loads for r. Rows are fully overwritten (zeroed or copied)
+	// before use, so the arena needs no clearing between epochs.
+	dirR := s.ar.dirR
+	fillDirR := func(k int) {
+		row := dirR[k]
 		if rPaths == nil || rPaths[k] == nil {
-			copy(dirR[k], s.R[k])
+			copy(row, s.R[k])
 			return
+		}
+		for e := range row {
+			row[e] = 0
 		}
 		for _, id := range rPaths[k] {
-			dirR[k][id] = 1
+			row[id] = 1
 		}
-	})
-	dirLoads := s.baseLoads(dirR)
-
+	}
 	// Direction columns for p.
-	dirP := make([][]float64, nL)
-	s.pool.ForEach(nL, func(l int) {
-		dirP[l] = make([]float64, nL)
+	dirP := s.ar.dirP
+	fillDirP := func(l int) {
+		row := dirP[l]
 		if pPaths[l] == nil {
-			copy(dirP[l], s.P[l])
+			copy(row, s.P[l])
 			return
 		}
-		for _, id := range pPaths[l] {
-			dirP[l][id] = 1
+		for e := range row {
+			row[e] = 0
 		}
-	})
-	pcolDir := s.columns(dirP, nil)
+		for _, id := range pPaths[l] {
+			row[id] = 1
+		}
+	}
+	if s.pool.Inline() {
+		for k := range s.comms {
+			fillDirR(k)
+		}
+		for l := 0; l < nL; l++ {
+			fillDirP(l)
+		}
+	} else {
+		s.pool.ForEach(len(s.comms), fillDirR)
+		s.pool.ForEach(nL, fillDirP)
+	}
+	dirLoads := s.baseLoads(dirR, s.ar.dirLoads)
+	pcolDir := s.columns(dirP, s.ar.pcolDir)
 
 	// Each utilization cell mixes a full p-column (O(links) WorstLoad), so
 	// the fill dominates the line search; it is slot-parallel with a
 	// per-worker mixing buffer. The max and the exp sum stay serial over
 	// the slot order, keeping the float association fixed.
-	us := make([]float64, nI*nL)
+	us := s.ar.us
 	eval := func(gamma float64) float64 {
-		par.ForEachChunkScratch(s.pool, nI*nL, func() []float64 {
-			return make([]float64, nL)
-		}, func(lo, hi int, col []float64) {
-			for t := lo; t < hi; t++ {
+		if s.pool.Inline() {
+			col := s.getBuf()
+			for t := 0; t < nI*nL; t++ {
 				i, e := t/nL, t%nL
 				a, b := s.pcol[e], pcolDir[e]
 				for l := 0; l < nL; l++ {
@@ -895,7 +1288,20 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 				bl := (1-gamma)*loads[i][e] + gamma*dirLoads[i][e]
 				us[t] = (bl + s.reqs[i].model.WorstLoad(col)) / s.capac[e]
 			}
-		})
+			s.putBuf(col)
+		} else {
+			par.ForEachChunkScratchFree(s.pool, nI*nL, s.getBuf, func(lo, hi int, col []float64) {
+				for t := lo; t < hi; t++ {
+					i, e := t/nL, t%nL
+					a, b := s.pcol[e], pcolDir[e]
+					for l := 0; l < nL; l++ {
+						col[l] = (1-gamma)*a[l] + gamma*b[l]
+					}
+					bl := (1-gamma)*loads[i][e] + gamma*dirLoads[i][e]
+					us[t] = (bl + s.reqs[i].model.WorstLoad(col)) / s.capac[e]
+				}
+			}, s.putBuf)
+		}
 		worst := 0.0
 		for _, u := range us {
 			if u > worst {
@@ -932,18 +1338,23 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 // sets of the current iterate: a link e costs q weight only where l's
 // virtual demand is part of the worst case at e. Cost accumulation is
 // split by link column e — every cell costP[·][e] belongs to one worker
-// and sums requirements in ascending order — and the per-link Dijkstra
-// fan-out is slot-parallel, with an ActiveSet scratch per worker.
+// and sums requirements in ascending order — and the per-link SPF fan-out
+// is slot-parallel, with an ActiveSet scratch per worker. All buffers come
+// from the arena: costP rows are zeroed up front, the kernel scratch and
+// y rows recycle through pools, and paths append into retained storage.
 func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 	nL := s.g.NumLinks()
 	nI := len(s.reqs)
-	costP := make([][]float64, nL)
-	for l := range costP {
-		costP[l] = make([]float64, nL)
+	costP := s.ar.costP
+	zeroRows := func(lo, hi int) {
+		for l := lo; l < hi; l++ {
+			row := costP[l]
+			for e := range row {
+				row[e] = 0
+			}
+		}
 	}
-	par.ForEachChunkScratch(s.pool, nL, func() []float64 {
-		return make([]float64, nL)
-	}, func(lo, hi int, y []float64) {
+	accumulate := func(lo, hi int, y []float64) {
 		for e := lo; e < hi; e++ {
 			for i := 0; i < nI; i++ {
 				if q[i][e] == 0 {
@@ -958,22 +1369,41 @@ func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 				}
 			}
 		}
-	})
-	paths := make([][]graph.LinkID, nL)
-	s.pool.ForEach(nL, func(l int) {
-		link := s.g.Link(graph.LinkID(l))
-		costFn := func(id graph.LinkID) float64 { return costP[l][id] + 1e-12 }
-		_, next := spf.DijkstraToWithNext(s.g, link.Dst, nil, costFn)
-		s.o.spf.Inc()
-		paths[l] = spf.PathVia(s.g, link.Src, next)
-	})
-	return paths
-}
-
-func copyLoads(dst, src [][]float64) {
-	for i := range dst {
-		copy(dst[i], src[i])
 	}
+	paths := s.ar.pPaths
+	sweep := func(l int) {
+		link := s.g.Link(graph.LinkID(l))
+		row := costP[l]
+		// Bake the tie-breaking floor into the row: the reference cost
+		// closure evaluated costP[l][id] + 1e-12 per relaxation, the same
+		// float add performed here once per link.
+		for id := 0; id < nL; id++ {
+			row[id] = row[id] + 1e-12
+		}
+		sc := s.spfPool.Get()
+		spf.SPFTo(s.csr, link.Dst, row, nil, sc)
+		s.o.spf.Inc()
+		p := spf.PathFromNext(s.csr, link.Src, sc.Next, s.ar.pPathBuf[l][:0])
+		if p != nil {
+			s.ar.pPathBuf[l] = p
+		}
+		paths[l] = p
+		s.spfPool.Put(sc)
+	}
+	if s.pool.Inline() {
+		zeroRows(0, nL)
+		y := s.getBuf()
+		accumulate(0, nL, y)
+		s.putBuf(y)
+		for l := 0; l < nL; l++ {
+			sweep(l)
+		}
+		return paths
+	}
+	s.pool.ForEachChunk(nL, zeroRows)
+	par.ForEachChunkScratchFree(s.pool, nL, s.getBuf, accumulate, s.putBuf)
+	s.pool.ForEach(nL, sweep)
+	return paths
 }
 
 // ternaryMin minimizes a convex function on [0,1] by ternary search.
@@ -997,41 +1427,59 @@ func ternaryMin(f func(float64) float64, iters int) float64 {
 // demand-weighted per commodity.
 func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
 	nL := s.g.NumLinks()
-	paths := make([][]graph.LinkID, len(s.comms))
+	paths := s.ar.rPaths
 	if len(s.reqs) == 1 {
-		cost := make([]float64, nL)
+		cost := s.ar.rCost
 		for e := 0; e < nL; e++ {
 			cost[e] = q[0][e]/s.capac[e] + 1e-12
 		}
-		costFn := func(id graph.LinkID) float64 { return cost[id] }
-		groups := map[graph.NodeID][]int{}
-		for k := range s.comms {
-			groups[s.comms[k].Dst] = append(groups[s.comms[k].Dst], k)
-		}
-		// One reverse Dijkstra per destination, fanned out across
-		// workers. Commodity sets of distinct destinations are disjoint,
-		// so every paths[k] slot has exactly one writer; the sorted
-		// destination list only fixes the task indexing.
-		dsts := make([]graph.NodeID, 0, len(groups))
-		for dst := range groups {
-			dsts = append(dsts, dst)
-		}
-		sort.Slice(dsts, func(a, b int) bool { return dsts[a] < dsts[b] })
-		s.pool.ForEach(len(dsts), func(di int) {
-			dst := dsts[di]
-			_, next := spf.DijkstraToWithNext(s.g, dst, nil, costFn)
-			s.o.spf.Inc()
-			for _, k := range groups[dst] {
-				paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
+		if s.ar.dsts == nil {
+			// The destination grouping depends only on the commodity set;
+			// build it once per solve.
+			groups := map[graph.NodeID][]int{}
+			for k := range s.comms {
+				groups[s.comms[k].Dst] = append(groups[s.comms[k].Dst], k)
 			}
-		})
+			dsts := make([]graph.NodeID, 0, len(groups))
+			for dst := range groups {
+				dsts = append(dsts, dst)
+			}
+			sort.Slice(dsts, func(a, b int) bool { return dsts[a] < dsts[b] })
+			s.ar.dsts = dsts
+			s.ar.dstComms = make([][]int, len(dsts))
+			for di, dst := range dsts {
+				s.ar.dstComms[di] = groups[dst]
+			}
+		}
+		// One reverse SPF per destination, fanned out across workers.
+		// Commodity sets of distinct destinations are disjoint, so every
+		// paths[k] slot has exactly one writer; the sorted destination
+		// list only fixes the task indexing.
+		sweep := func(di int) {
+			sc := s.spfPool.Get()
+			spf.SPFTo(s.csr, s.ar.dsts[di], cost, nil, sc)
+			s.o.spf.Inc()
+			for _, k := range s.ar.dstComms[di] {
+				p := spf.PathFromNext(s.csr, s.comms[k].Src, sc.Next, s.ar.rPathBuf[k][:0])
+				if p != nil {
+					s.ar.rPathBuf[k] = p
+				}
+				paths[k] = s.checkedPath(k, p, cost)
+			}
+			s.spfPool.Put(sc)
+		}
+		if s.pool.Inline() {
+			for di := range s.ar.dsts {
+				sweep(di)
+			}
+		} else {
+			s.pool.ForEach(len(s.ar.dsts), sweep)
+		}
 		return paths
 	}
 	// Demand-weighted per-commodity costs: one SPF per commodity, with a
 	// per-worker cost buffer (fully overwritten for every item).
-	par.ForEachScratch(s.pool, len(s.comms), func() []float64 {
-		return make([]float64, nL)
-	}, func(k int, cost []float64) {
+	sweep := func(k int, cost []float64) {
 		for e := 0; e < nL; e++ {
 			var w float64
 			for i := range s.reqs {
@@ -1041,21 +1489,37 @@ func (s *fwState) rDirections(q [][]float64) [][]graph.LinkID {
 			}
 			cost[e] = w/s.capac[e] + 1e-12
 		}
-		costFn := func(id graph.LinkID) float64 { return cost[id] }
-		_, next := spf.DijkstraToWithNext(s.g, s.comms[k].Dst, nil, costFn)
+		sc := s.spfPool.Get()
+		spf.SPFTo(s.csr, s.comms[k].Dst, cost, nil, sc)
 		s.o.spf.Inc()
-		paths[k] = s.checkedPath(k, spf.PathVia(s.g, s.comms[k].Src, next), costFn)
-	})
+		p := spf.PathFromNext(s.csr, s.comms[k].Src, sc.Next, s.ar.rPathBuf[k][:0])
+		if p != nil {
+			s.ar.rPathBuf[k] = p
+		}
+		paths[k] = s.checkedPath(k, p, cost)
+		s.spfPool.Put(sc)
+	}
+	if s.pool.Inline() {
+		cost := s.getBuf()
+		for k := range s.comms {
+			sweep(k, cost)
+		}
+		s.putBuf(cost)
+		return paths
+	}
+	par.ForEachScratchFree(s.pool, len(s.comms), s.getBuf, sweep, s.putBuf)
 	return paths
 }
 
 // checkedPath applies the delay envelope to an oracle path, substituting a
-// delay-bounded path when the unconstrained one is too slow.
-func (s *fwState) checkedPath(k int, path []graph.LinkID, costFn spf.Cost) []graph.LinkID {
+// delay-bounded path when the unconstrained one is too slow. cost is the
+// per-link cost row the oracle ran with.
+func (s *fwState) checkedPath(k int, path []graph.LinkID, cost []float64) []graph.LinkID {
 	if path == nil {
 		return nil
 	}
 	if s.delayCap != nil && pathDelay(s.g, path) > s.delayCap[k]+1e-9 {
+		costFn := func(id graph.LinkID) float64 { return cost[id] }
 		return s.delayBoundedPath(s.comms[k].Src, s.comms[k].Dst, costFn, s.delayCap[k])
 	}
 	return path

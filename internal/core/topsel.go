@@ -1,0 +1,193 @@
+package core
+
+// colTop maintains the largest positive entries of one pcol column across
+// the p block sweep, so per-link line searches read their insertion stats
+// in O(F) instead of rescanning the whole column per cell.
+//
+// Invariants. Entries are ordered by the strict total order "value
+// descending, index ascending among equal values" — exactly the order the
+// insertion buffers in sumTopK and insertionStats produce — and the buffer
+// always holds the first min(K, #positives) entries of the column in that
+// order, where K is the configured capacity (max F over requirements,
+// plus one). capped reports that positive entries beyond the buffer exist;
+// capped implies a full buffer, so every query for F <= K-1 is answered
+// from buffered entries alone and never needs the tail. Sums are taken in
+// buffer order (descending), matching the reference summation order bit
+// for bit.
+//
+// Incremental updates are exact: an accepted p block changes a single
+// index l in every column, and update either re-ranks l inside the buffer
+// (when the buffer provably still holds the true top-K) or falls back to
+// a full column rescan (only when l leaves a full buffer with unknown
+// entries behind it — bounded by one rescan per column per accepted
+// block).
+type colTop struct {
+	n      int
+	capped bool
+	val    [33]float64
+	idx    [33]int32
+}
+
+// topBefore reports whether entry (v1, i1) precedes (v2, i2) in the
+// buffer's total order.
+func topBefore(v1 float64, i1 int32, v2 float64, i2 int32) bool {
+	return v1 > v2 || (v1 == v2 && i1 < i2)
+}
+
+// rebuild recomputes the buffer from the column with capacity K.
+func (t *colTop) rebuild(col []float64, K int) {
+	t.n = 0
+	t.capped = false
+	n := 0
+	for i, x := range col {
+		if x <= 0 {
+			continue
+		}
+		if n == K && !topBefore(x, int32(i), t.val[n-1], t.idx[n-1]) {
+			t.capped = true
+			continue
+		}
+		j := n
+		if j == K {
+			j--
+			t.capped = true
+		}
+		for j > 0 && topBefore(x, int32(i), t.val[j-1], t.idx[j-1]) {
+			t.val[j], t.idx[j] = t.val[j-1], t.idx[j-1]
+			j--
+		}
+		t.val[j], t.idx[j] = x, int32(i)
+		if n < K {
+			n++
+		}
+	}
+	t.n = n
+}
+
+// insert places (nv, l) at its ordered position, dropping the last entry
+// when the buffer is at capacity K.
+func (t *colTop) insert(nv float64, l int32, K int) {
+	j := t.n
+	if j == K {
+		j--
+		t.capped = true
+	}
+	for j > 0 && topBefore(nv, l, t.val[j-1], t.idx[j-1]) {
+		t.val[j], t.idx[j] = t.val[j-1], t.idx[j-1]
+		j--
+	}
+	t.val[j], t.idx[j] = nv, l
+	if t.n < K {
+		t.n++
+	}
+}
+
+// remove deletes the entry at position p.
+func (t *colTop) remove(p int) {
+	copy(t.val[p:t.n-1], t.val[p+1:t.n])
+	copy(t.idx[p:t.n-1], t.idx[p+1:t.n])
+	t.n--
+}
+
+// find returns the buffer position of index l, or -1.
+func (t *colTop) find(l int32) int {
+	for p := 0; p < t.n; p++ {
+		if t.idx[p] == l {
+			return p
+		}
+	}
+	return -1
+}
+
+// update re-establishes the invariants after col[l] changed to nv (col is
+// the already-updated column, consulted only when a rescan is needed).
+func (t *colTop) update(l int32, nv float64, col []float64, K int) {
+	p := t.find(l)
+	if p < 0 {
+		// l was not buffered: its old value ranks behind the buffer tail.
+		if nv <= 0 {
+			return
+		}
+		if t.n < K {
+			// Uncapped buffers hold every positive entry; add the new one.
+			t.insert(nv, l, K)
+			return
+		}
+		if topBefore(nv, l, t.val[t.n-1], t.idx[t.n-1]) {
+			// Beats the buffered minimum, which itself beats every
+			// unbuffered entry: (nv, l) is in the true top-K.
+			t.insert(nv, l, K)
+			return
+		}
+		// Still behind the buffer: now a positive exists outside it.
+		t.capped = true
+		return
+	}
+	// l was buffered. Removing it is exact unless the buffer is capped and
+	// the new entry may fall behind unknown unbuffered entries.
+	if t.capped {
+		bv, bi := t.val[t.n-1], t.idx[t.n-1]
+		if p == t.n-1 {
+			bv, bi = t.val[p], t.idx[p] // l itself was the boundary
+		}
+		if nv <= 0 || !(topBefore(nv, l, bv, bi) || (nv == bv && l == bi)) {
+			// The K-th entry might now be an unbuffered one we never saw.
+			t.rebuild(col, K)
+			return
+		}
+		t.remove(p)
+		t.insert(nv, l, K)
+		return
+	}
+	t.remove(p)
+	if nv > 0 {
+		t.insert(nv, l, K)
+	}
+}
+
+// worstArb returns the sum of the top-F entries — sumTopK(col, F, nil)
+// bit for bit, valid for F < len(col) (the reference's small-F branch;
+// F >= len(col) switches to index-order summation and must use sumTopK
+// directly).
+func (t *colTop) worstArb(F int) float64 {
+	n := t.n
+	if F < n {
+		n = F
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += t.val[i]
+	}
+	return s
+}
+
+// stats returns insertionStats(col, skip, F) bit for bit: the sum of the
+// top-(F-1) positive entries with index skip excluded, and the F-th
+// largest such entry (0 when fewer than F exist). Requires F <= K-1.
+func (t *colTop) stats(skip int32, F int) (sFm1, aF float64) {
+	if F <= 0 {
+		return 0, 0
+	}
+	// The first F entries excluding skip, in buffer order. With a capped
+	// buffer n = K >= F+1 entries are present, so the window never runs
+	// out; uncapped buffers hold every positive and may run short, which
+	// is exactly insertionStats' fewer-than-F tail.
+	m := 0
+	for p := 0; p < t.n && m < F; p++ {
+		if t.idx[p] == skip {
+			continue
+		}
+		if m < F-1 {
+			sFm1 += t.val[p]
+		} else {
+			aF = t.val[p]
+		}
+		m++
+	}
+	if m == F {
+		return sFm1, aF
+	}
+	// Fewer than F positives besides skip: the top-(F-1) sum holds all of
+	// them and no F-th largest exists.
+	return sFm1, 0
+}

@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a router in a Graph. IDs are dense, starting at 0.
@@ -47,6 +48,12 @@ type Graph struct {
 	// together. They drive the structured failure model of R3 §3.5.
 	srlgs [][]LinkID
 	mlgs  [][]LinkID
+
+	// csr caches the flat CSR view; nil after any mutation. Guarded by
+	// csrMu so concurrent readers (parallel evaluation workers) can share
+	// one lazily built snapshot.
+	csrMu sync.Mutex
+	csr   *CSR
 }
 
 // New returns an empty named graph.
@@ -68,6 +75,7 @@ func (g *Graph) AddNode(name string) NodeID {
 	g.byName[name] = id
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.invalidateCSR()
 	return id
 }
 
@@ -91,6 +99,7 @@ func (g *Graph) AddLink(src, dst NodeID, capacity, delay, weight float64) LinkID
 	})
 	g.out[src] = append(g.out[src], id)
 	g.in[dst] = append(g.in[dst], id)
+	g.invalidateCSR()
 	return id
 }
 
@@ -127,10 +136,16 @@ func (g *Graph) Link(id LinkID) Link { return g.links[id] }
 func (g *Graph) Links() []Link { return g.links }
 
 // SetWeight updates the IGP weight of a link (and not its reverse).
-func (g *Graph) SetWeight(id LinkID, w float64) { g.links[id].Weight = w }
+func (g *Graph) SetWeight(id LinkID, w float64) {
+	g.links[id].Weight = w
+	g.invalidateCSR()
+}
 
 // SetCapacity updates the capacity of a link (and not its reverse).
-func (g *Graph) SetCapacity(id LinkID, c float64) { g.links[id].Capacity = c }
+func (g *Graph) SetCapacity(id LinkID, c float64) {
+	g.links[id].Capacity = c
+	g.invalidateCSR()
+}
 
 // Out returns the IDs of links leaving node n. The slice must not be
 // modified.

@@ -32,6 +32,13 @@ func (s *LinkSet) Add(id LinkID) {
 	s.words[w] |= 1 << (uint(id) % 64)
 }
 
+// Clear empties the set, keeping its backing storage for reuse.
+func (s *LinkSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Remove deletes id from the set if present.
 func (s *LinkSet) Remove(id LinkID) {
 	w := int(id) / 64

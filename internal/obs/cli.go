@@ -1,26 +1,40 @@
 package obs
 
-import "log/slog"
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
 
 // SetupCLI wires the standard observability flags shared by the r3plan,
 // r3sim and r3emu commands: it initializes slog (quiet by default, info
 // level when verbose), and when either debugAddr or traceOut is set it
 // creates a live Registry, serving /debug/vars, /debug/metrics and
-// /debug/pprof on debugAddr if non-empty. The returned cleanup shuts the
-// server down and, if traceOut is non-empty, dumps the recorded span trees
-// there; call it on the command's success path. With both strings empty
-// the returned registry is nil — every instrumented path degrades to
-// no-ops — and cleanup is a harmless stub.
-func SetupCLI(debugAddr, traceOut string, verbose bool) (*Registry, func(), error) {
+// /debug/pprof on debugAddr if non-empty. cpuProfile and memProfile name
+// pprof output files: a non-empty cpuProfile starts CPU profiling
+// immediately, and the cleanup stops it and, for a non-empty memProfile,
+// writes an allocs profile after a final GC. The returned cleanup also
+// shuts the debug server down and, if traceOut is non-empty, dumps the
+// recorded span trees there; call it on the command's success path. With
+// all strings empty the returned registry is nil — every instrumented path
+// degrades to no-ops — and cleanup is a harmless stub.
+func SetupCLI(debugAddr, traceOut, cpuProfile, memProfile string, verbose bool) (*Registry, func(), error) {
 	InitLogging(verbose)
+	stopProf, err := StartProfiles(cpuProfile, memProfile)
+	if err != nil {
+		return nil, nil, err
+	}
 	if debugAddr == "" && traceOut == "" {
-		return nil, func() {}, nil
+		return nil, stopProf, nil
 	}
 	reg := NewRegistry()
 	stop := func() {}
 	if debugAddr != "" {
 		addr, shutdown, err := StartDebugServer(debugAddr, reg)
 		if err != nil {
+			stopProf()
 			return nil, nil, err
 		}
 		slog.Info("debug server listening", "addr", addr)
@@ -35,6 +49,52 @@ func SetupCLI(debugAddr, traceOut string, verbose bool) (*Registry, func(), erro
 				slog.Info("trace written", "path", traceOut)
 			}
 		}
+		stopProf()
 	}
 	return reg, cleanup, nil
+}
+
+// StartProfiles starts CPU profiling into cpuPath (when non-empty) and
+// returns a stop function that ends the CPU profile and writes a heap
+// allocation profile to memPath (when non-empty, after a final GC so the
+// numbers reflect live retention rather than transient garbage). Empty
+// paths are skipped; the stop function is always safe to call once.
+func StartProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				slog.Error("closing cpu profile", "path", cpuPath, "err", err)
+			} else {
+				slog.Info("cpu profile written", "path", cpuPath)
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				slog.Error("creating mem profile", "path", memPath, "err", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				slog.Error("writing mem profile", "path", memPath, "err", err)
+			} else {
+				slog.Info("mem profile written", "path", memPath)
+			}
+			f.Close()
+		}
+	}, nil
 }

@@ -43,6 +43,7 @@ type Pool struct {
 	loops   atomic.Int64
 	items   atomic.Int64
 	pending atomic.Int64
+	spawned atomic.Int64
 }
 
 // Stats reports how many parallel loops the pool has run and how many
@@ -99,6 +100,32 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Inline reports whether loops on this pool execute on the calling
+// goroutine without any worker handoff: a 1-worker pool, or any pool when
+// the runtime has a single scheduling slot (GOMAXPROCS=1), where spawning
+// workers can only add overhead. Callers with allocation-sensitive hot
+// paths can branch on it to run plain loops instead of closures.
+func (p *Pool) Inline() bool {
+	return p.Workers() == 1 || runtime.GOMAXPROCS(0) == 1
+}
+
+// SpawnedWorkers reports the total number of worker goroutines the pool
+// has launched across all loops. Inline executions spawn none. Nil pools
+// report 0.
+func (p *Pool) SpawnedWorkers() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.spawned.Load()
+}
+
+func (p *Pool) noteSpawn() {
+	if p == nil {
+		return
+	}
+	p.spawned.Add(1)
+}
+
 // panicked carries a captured worker panic to the calling goroutine.
 type panicked struct {
 	index int
@@ -144,12 +171,26 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 // executions. Scratch state must not leak information between items in a
 // way that affects results (buffers, not accumulators).
 func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s S)) {
+	ForEachScratchFree(p, n, newScratch, fn, nil)
+}
+
+// ForEachScratchFree is ForEachScratch with a release hook: free (when
+// non-nil) runs once for every scratch value created, after its worker has
+// finished all items — one call total in serial execution. It lets callers
+// recycle scratch buffers through a pool instead of allocating per loop.
+func ForEachScratchFree[S any](p *Pool, n int, newScratch func() S, fn func(i int, s S), free func(S)) {
 	if n <= 0 {
 		return
 	}
 	w := p.Workers()
 	if w > n {
 		w = n
+	}
+	// On a single-slot runtime, goroutine handoff buys no parallelism and
+	// costs scheduling overhead; degrade to the inline serial loop. The
+	// chunk grid is unchanged, so results stay bit-identical.
+	if w > 1 && runtime.GOMAXPROCS(0) == 1 {
+		w = 1
 	}
 	p.noteLoop(n)
 	var done atomic.Int64
@@ -167,6 +208,9 @@ func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s
 			done.Add(1)
 			p.noteItemDone()
 		}
+		if free != nil {
+			free(s)
+		}
 		return
 	}
 	var next atomic.Int64
@@ -183,9 +227,13 @@ func ForEachScratch[S any](p *Pool, n int, newScratch func() S, fn func(i int, s
 	}
 	for g := 0; g < w; g++ {
 		wg.Add(1)
+		p.noteSpawn()
 		go func() {
 			defer wg.Done()
 			s := newScratch()
+			if free != nil {
+				defer free(s)
+			}
 			for {
 				i := int(next.Add(1))
 				if i >= n {
@@ -258,18 +306,24 @@ func (p *Pool) ForEachChunk(n int, fn func(lo, hi int)) {
 
 // ForEachChunkScratch is ForEachChunk with a per-worker scratch value.
 func ForEachChunkScratch[S any](p *Pool, n int, newScratch func() S, fn func(lo, hi int, s S)) {
+	ForEachChunkScratchFree(p, n, newScratch, fn, nil)
+}
+
+// ForEachChunkScratchFree is ForEachChunkScratch with a release hook (see
+// ForEachScratchFree).
+func ForEachChunkScratchFree[S any](p *Pool, n int, newScratch func() S, fn func(lo, hi int, s S), free func(S)) {
 	if n <= 0 {
 		return
 	}
 	c := ChunkSize(n)
-	ForEachScratch(p, NumChunks(n), newScratch, func(ci int, s S) {
+	ForEachScratchFree(p, NumChunks(n), newScratch, func(ci int, s S) {
 		lo := ci * c
 		hi := lo + c
 		if hi > n {
 			hi = n
 		}
 		fn(lo, hi, s)
-	})
+	}, free)
 }
 
 // Reduce maps each chunk of the fixed grid over [0, n) to a partial value
@@ -279,6 +333,20 @@ func ForEachChunkScratch[S any](p *Pool, n int, newScratch func() S, fn func(lo,
 func Reduce[A any](p *Pool, n int, init A, mapFn func(lo, hi int) A, mergeFn func(into, next A) A) A {
 	if n <= 0 {
 		return init
+	}
+	if p.Inline() {
+		// Same chunk grid and fold order as the parallel path, without the
+		// partials slice: init ⊕ map(chunk 0) ⊕ map(chunk 1) ⊕ …
+		c := ChunkSize(n)
+		acc := init
+		for lo := 0; lo < n; lo += c {
+			hi := lo + c
+			if hi > n {
+				hi = n
+			}
+			acc = mergeFn(acc, mapFn(lo, hi))
+		}
+		return acc
 	}
 	parts := make([]A, NumChunks(n))
 	p.ForEachChunk(n, func(lo, hi int) {
@@ -303,6 +371,9 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) erro
 	w := p.Workers()
 	if w > n {
 		w = n
+	}
+	if w > 1 && runtime.GOMAXPROCS(0) == 1 {
+		w = 1
 	}
 	p.noteLoop(n)
 	var done atomic.Int64
@@ -334,6 +405,7 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int) error) erro
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
+		p.noteSpawn()
 		go func() {
 			defer wg.Done()
 			for {

@@ -1,0 +1,210 @@
+package spf
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// This file is the allocation-free shortest-path kernel: Dijkstra over the
+// graph's CSR view with costs read from a flat per-link array, liveness
+// tested against a LinkSet bitmask, and all working state in a
+// caller-provided Scratch. With a warm Scratch a call performs zero heap
+// allocations.
+//
+// Bit-identity contract. The closure-based functions in spf.go are thin
+// wrappers over this kernel, and the planner's byte-identical-plans
+// guarantee rides on the pop order of equal-distance nodes: which of two
+// nodes at the same distance settles first decides which predecessor wins
+// a `nd < dist` tie-break, and therefore which Next link a path follows.
+// Equal keys are common in the planner (gradient costs share the +1e-12
+// floor wherever exp underflows to zero), so the kernel replicates
+// container/heap's binary sift-up/sift-down exactly — including its
+// swap-root-with-last Pop — rather than switching to a d-ary heap, whose
+// different (still valid) pop order would silently change plans.
+
+// kItem is one heap entry: a tentative distance and the node it reaches.
+// Stale entries are skipped on pop (lazy deletion), exactly like the
+// closure-based implementation.
+type kItem struct {
+	dist float64
+	node int32
+}
+
+// Scratch holds the kernel's working state so repeated calls allocate
+// nothing once the buffers have grown to the graph's size. A Scratch must
+// not be shared between concurrent calls.
+type Scratch struct {
+	// Dist is the distance vector of the last call, indexed by node.
+	Dist []float64
+	// Next is the next-link vector of the last SPFTo call, indexed by
+	// node: the first link of a shortest path toward the destination, or
+	// -1 when unreachable (and at the destination itself).
+	Next []int32
+	heap []kItem
+}
+
+// reset sizes the buffers for n nodes and initializes Dist to +Inf and
+// Next to -1.
+func (s *Scratch) reset(n int) {
+	if cap(s.Dist) < n {
+		s.Dist = make([]float64, n)
+		s.Next = make([]int32, n)
+		s.heap = make([]kItem, 0, n)
+	}
+	s.Dist = s.Dist[:n]
+	s.Next = s.Next[:n]
+	for i := range s.Dist {
+		s.Dist[i] = Infinity
+		s.Next[i] = -1
+	}
+}
+
+// siftUp replicates container/heap.up with Less = strict < on dist.
+func siftUp(h []kItem, j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// siftDown replicates container/heap.down with Less = strict < on dist.
+func siftDown(h []kItem, i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// SPFTo runs reverse Dijkstra toward dst over the CSR view: distances and
+// next links for every node are left in s.Dist and s.Next. cost[id] is the
+// nonnegative cost of link id; links in down (nil = none) are excluded.
+// Equivalent to DijkstraToWithNext bit for bit, without its allocations.
+func SPFTo(c *graph.CSR, dst graph.NodeID, cost []float64, down *graph.LinkSet, s *Scratch) {
+	s.reset(c.N)
+	dist, next := s.Dist, s.Next
+	dist[dst] = 0
+	h := append(s.heap[:0], kItem{0, int32(dst)})
+	for len(h) > 0 {
+		// container/heap.Pop: swap root with last, sift down, pop last.
+		last := len(h) - 1
+		h[0], h[last] = h[last], h[0]
+		siftDown(h[:last], 0)
+		it := h[last]
+		h = h[:last]
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for a, b := c.InHead[it.node], c.InHead[it.node+1]; a < b; a++ {
+			id := c.InLinks[a]
+			if down != nil && down.Contains(graph.LinkID(id)) {
+				continue
+			}
+			u := c.Src[id]
+			nd := it.dist + cost[id]
+			if nd < dist[u] {
+				dist[u] = nd
+				next[u] = id
+				h = append(h, kItem{nd, u})
+				siftUp(h, len(h)-1)
+			}
+		}
+	}
+	s.heap = h[:0]
+}
+
+// SPFFrom runs forward Dijkstra from src over the CSR view, leaving
+// distances in s.Dist (s.Next is reset but not meaningful). Equivalent to
+// Dijkstra bit for bit, without its allocations.
+func SPFFrom(c *graph.CSR, src graph.NodeID, cost []float64, down *graph.LinkSet, s *Scratch) {
+	s.reset(c.N)
+	dist := s.Dist
+	dist[src] = 0
+	h := append(s.heap[:0], kItem{0, int32(src)})
+	for len(h) > 0 {
+		last := len(h) - 1
+		h[0], h[last] = h[last], h[0]
+		siftDown(h[:last], 0)
+		it := h[last]
+		h = h[:last]
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for a, b := c.OutHead[it.node], c.OutHead[it.node+1]; a < b; a++ {
+			id := c.OutLinks[a]
+			if down != nil && down.Contains(graph.LinkID(id)) {
+				continue
+			}
+			v := c.Dst[id]
+			nd := it.dist + cost[id]
+			if nd < dist[v] {
+				dist[v] = nd
+				h = append(h, kItem{nd, v})
+				siftUp(h, len(h)-1)
+			}
+		}
+	}
+	s.heap = h[:0]
+}
+
+// PathFromNext follows a next vector produced by SPFTo from src to the
+// tree's destination, appending the links to buf (typically buf[:0] of a
+// reusable slice) and returning it, or nil when src cannot reach the
+// destination. The flat-array analogue of PathVia.
+func PathFromNext(c *graph.CSR, src graph.NodeID, next []int32, buf []graph.LinkID) []graph.LinkID {
+	u := int32(src)
+	if next[u] < 0 {
+		return nil
+	}
+	path := buf[:0]
+	for next[u] >= 0 {
+		id := next[u]
+		path = append(path, graph.LinkID(id))
+		u = c.Dst[id]
+	}
+	return path
+}
+
+// ScratchPool is a free list of kernel Scratches for concurrent callers
+// (e.g. per-worker shortest-path fan-outs). The zero value is ready to
+// use. Scratch contents never influence results, so recycling order does
+// not affect determinism.
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+// Get pops a Scratch from the pool, or returns a fresh one.
+func (p *ScratchPool) Get() *Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &Scratch{}
+}
+
+// Put returns a Scratch to the pool.
+func (p *ScratchPool) Put(s *Scratch) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}

@@ -1,0 +1,321 @@
+package spf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// kernelRandGraph builds a random duplex ring-plus-chords topology with
+// occasional equal-cost links, so shortest-path ties (the case the
+// bit-identity contract is about) actually occur.
+func kernelRandGraph(t testing.TB, seed int64, nodes, extra int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New("kernel-rand")
+	ids := make([]graph.NodeID, nodes)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("k%d", i))
+	}
+	weight := func() float64 {
+		// Small integer weights force plenty of equal-distance nodes.
+		return float64(1 + rng.Intn(4))
+	}
+	for i := 0; i < nodes; i++ {
+		g.AddDuplex(ids[i], ids[(i+1)%nodes], 100, rng.Float64(), weight())
+	}
+	for k := 0; k < extra; k++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		g.AddDuplex(ids[a], ids[b], 100, rng.Float64(), weight())
+	}
+	return g
+}
+
+// refItem / refPQ reimplement the closure-era priority queue on
+// container/heap. The kernel's documented contract is that it replicates
+// container/heap's sift and pop order exactly, so the reference must agree
+// with the kernel bit for bit — distances AND next links, ties included.
+type refItem struct {
+	dist float64
+	node int32
+}
+
+type refPQ []refItem
+
+func (h refPQ) Len() int            { return len(h) }
+func (h refPQ) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h refPQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refPQ) Push(x interface{}) { *h = append(*h, x.(refItem)) }
+func (h *refPQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// refSPFTo is an independent reverse Dijkstra using container/heap with
+// lazy deletion, mirroring the pre-kernel implementation.
+func refSPFTo(g *graph.Graph, dst graph.NodeID, cost []float64, down *graph.LinkSet) ([]float64, []int32) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	next := make([]int32, n)
+	for i := range dist {
+		dist[i] = Infinity
+		next[i] = -1
+	}
+	dist[dst] = 0
+	h := &refPQ{{0, int32(dst)}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.In(graph.NodeID(it.node)) {
+			if down != nil && down.Contains(id) {
+				continue
+			}
+			u := g.Link(id).Src
+			nd := it.dist + cost[id]
+			if nd < dist[u] {
+				dist[u] = nd
+				next[u] = int32(id)
+				heap.Push(h, refItem{nd, int32(u)})
+			}
+		}
+	}
+	return dist, next
+}
+
+// refSPFFrom is the forward counterpart of refSPFTo.
+func refSPFFrom(g *graph.Graph, src graph.NodeID, cost []float64, down *graph.LinkSet) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	h := &refPQ{{0, int32(src)}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.Out(graph.NodeID(it.node)) {
+			if down != nil && down.Contains(id) {
+				continue
+			}
+			v := g.Link(id).Dst
+			nd := it.dist + cost[id]
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, refItem{nd, int32(v)})
+			}
+		}
+	}
+	return dist
+}
+
+// TestKernelMatchesHeapReference runs the kernel and the container/heap
+// reference over random graphs, random costs and random down-sets, and
+// demands bit-identical distances and next vectors. Any divergence —
+// including a different but equally valid tie-break — would break the
+// planner's byte-identical-plans guarantee.
+func TestKernelMatchesHeapReference(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		g := kernelRandGraph(t, seed, 12+int(seed)*3, 20)
+		c := g.CSR()
+		nL := g.NumLinks()
+		cost := make([]float64, nL)
+		for trial := 0; trial < 6; trial++ {
+			for e := range cost {
+				// Mix of distinct values and a shared floor (the planner's
+				// +1e-12 underflow floor creates exactly this key profile).
+				if rng.Intn(3) == 0 {
+					cost[e] = 1e-12
+				} else {
+					cost[e] = float64(1+rng.Intn(5)) * 0.25
+				}
+			}
+			var down *graph.LinkSet
+			if trial%2 == 1 {
+				var d graph.LinkSet
+				for e := 0; e < nL; e++ {
+					if rng.Intn(5) == 0 {
+						d.Add(graph.LinkID(e))
+					}
+				}
+				down = &d
+			}
+			var s Scratch
+			for dst := 0; dst < g.NumNodes(); dst += 3 {
+				SPFTo(c, graph.NodeID(dst), cost, down, &s)
+				wd, wn := refSPFTo(g, graph.NodeID(dst), cost, down)
+				for i := range wd {
+					if s.Dist[i] != wd[i] && !(math.IsInf(s.Dist[i], 1) && math.IsInf(wd[i], 1)) {
+						t.Fatalf("seed %d dst %d: dist[%d] = %v, reference %v", seed, dst, i, s.Dist[i], wd[i])
+					}
+					if s.Next[i] != wn[i] {
+						t.Fatalf("seed %d dst %d: next[%d] = %d, reference %d (pop order diverged)", seed, dst, i, s.Next[i], wn[i])
+					}
+				}
+				SPFFrom(c, graph.NodeID(dst), cost, down, &s)
+				fd := refSPFFrom(g, graph.NodeID(dst), cost, down)
+				for i := range fd {
+					if s.Dist[i] != fd[i] && !(math.IsInf(s.Dist[i], 1) && math.IsInf(fd[i], 1)) {
+						t.Fatalf("seed %d src %d: forward dist[%d] = %v, reference %v", seed, dst, i, s.Dist[i], fd[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPathFromNextMatchesPathVia pins the flat path extractor against the
+// closure-based one on the same next vector.
+func TestPathFromNextMatchesPathVia(t *testing.T) {
+	g := kernelRandGraph(t, 7, 20, 30)
+	c := g.CSR()
+	for dst := 0; dst < g.NumNodes(); dst += 2 {
+		distTo, next := DijkstraToWithNext(g, graph.NodeID(dst), nil, WeightCost(g))
+		var s Scratch
+		costs, _ := flatten(g, nil, WeightCost(g))
+		SPFTo(c, graph.NodeID(dst), costs, nil, &s)
+		var buf []graph.LinkID
+		for src := 0; src < g.NumNodes(); src++ {
+			want := PathVia(g, graph.NodeID(src), next)
+			got := PathFromNext(c, graph.NodeID(src), s.Next, buf[:0])
+			if got != nil {
+				buf = got
+			}
+			if len(want) != len(got) {
+				t.Fatalf("dst %d src %d: path length %d vs %d", dst, src, len(got), len(want))
+			}
+			sum := 0.0
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("dst %d src %d: path[%d] = %d, want %d", dst, src, i, got[i], want[i])
+				}
+				sum += g.Link(got[i]).Weight
+			}
+			if want != nil && math.Abs(sum-distTo[src]) > 1e-9 {
+				t.Fatalf("dst %d src %d: path cost %v != dist %v", dst, src, sum, distTo[src])
+			}
+		}
+	}
+}
+
+// TestKernelZeroAllocs: with a warm Scratch, SPFTo/SPFFrom and
+// PathFromNext must not touch the heap at all.
+func TestKernelZeroAllocs(t *testing.T) {
+	g := topo.SBC()
+	c := g.CSR()
+	costs, _ := flatten(g, nil, WeightCost(g))
+	var down graph.LinkSet
+	down.Add(0)
+	var s Scratch
+	SPFTo(c, 0, costs, &down, &s) // warm the buffers
+	buf := make([]graph.LinkID, 0, g.NumNodes())
+
+	if n := testing.AllocsPerRun(50, func() {
+		SPFTo(c, 3, costs, &down, &s)
+	}); n != 0 {
+		t.Fatalf("warm SPFTo allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		SPFFrom(c, 3, costs, nil, &s)
+	}); n != 0 {
+		t.Fatalf("warm SPFFrom allocates %v per run, want 0", n)
+	}
+	SPFTo(c, 3, costs, nil, &s)
+	if n := testing.AllocsPerRun(50, func() {
+		buf = PathFromNext(c, 9, s.Next, buf[:0])
+	}); n != 0 {
+		t.Fatalf("warm PathFromNext allocates %v per run, want 0", n)
+	}
+}
+
+// TestECMPScratchReusesRows pins the fix for the weight optimizer's
+// unbounded per-call distance cache: across repeated ECMPFlowScratch
+// invocations the per-destination rows must be the same backing arrays,
+// invalidated by generation stamp rather than reallocation.
+func TestECMPScratchReusesRows(t *testing.T) {
+	g := topo.Abilene()
+	comms := routing.ODCommodities(g.NumNodes(), func(a, b graph.NodeID) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	})
+	var sc ECMPScratch
+	f1 := ECMPFlowScratch(g, comms, nil, WeightCost(g), &sc)
+	rows := make([]*float64, len(sc.distTo))
+	for d := range sc.distTo {
+		if sc.distTo[d] != nil {
+			rows[d] = &sc.distTo[d][0]
+		}
+	}
+	gen := sc.gen
+	for round := 0; round < 25; round++ {
+		f := ECMPFlowScratch(g, comms, nil, WeightCost(g), &sc)
+		for k := range f.Frac {
+			for e := range f.Frac[k] {
+				if f.Frac[k][e] != f1.Frac[k][e] {
+					t.Fatalf("round %d: fractions drifted at commodity %d link %d", round, k, e)
+				}
+			}
+		}
+	}
+	if sc.gen != gen+25 {
+		t.Fatalf("generation stamp advanced %d, want 25", sc.gen-gen)
+	}
+	for d := range sc.distTo {
+		if rows[d] == nil {
+			continue
+		}
+		if &sc.distTo[d][0] != rows[d] {
+			t.Fatalf("distTo row %d was reallocated; the table must stay bounded", d)
+		}
+	}
+	// The whole table is bounded by one row per destination: no growth
+	// beyond the node count, ever.
+	if len(sc.distTo) != g.NumNodes() || len(sc.stamp) != g.NumNodes() {
+		t.Fatalf("scratch table sized %d/%d, want %d", len(sc.distTo), len(sc.stamp), g.NumNodes())
+	}
+}
+
+// TestECMPScratchInvalidatesOnWeightChange: a stale distance row must not
+// survive a weight change between calls (the stamp, not the contents,
+// carries validity).
+func TestECMPScratchInvalidatesOnWeightChange(t *testing.T) {
+	g := kernelRandGraph(t, 11, 10, 12)
+	comms := routing.ODCommodities(g.NumNodes(), func(a, b graph.NodeID) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	})
+	var sc ECMPScratch
+	ECMPFlowScratch(g, comms, nil, WeightCost(g), &sc)
+	g.SetWeight(0, g.Link(0).Weight+7)
+	got := ECMPFlowScratch(g, comms, nil, WeightCost(g), &sc)
+	want := ECMPFlow(g, comms, nil, WeightCost(g))
+	for k := range want.Frac {
+		for e := range want.Frac[k] {
+			if got.Frac[k][e] != want.Frac[k][e] {
+				t.Fatalf("stale distances after weight change: commodity %d link %d: %v vs %v",
+					k, e, got.Frac[k][e], want.Frac[k][e])
+			}
+		}
+	}
+}

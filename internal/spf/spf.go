@@ -4,7 +4,6 @@
 package spf
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
@@ -14,27 +13,30 @@ import (
 // Infinity marks unreachable nodes in distance vectors.
 var Infinity = math.Inf(1)
 
-type pqItem struct {
-	node graph.NodeID
-	dist float64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
-
 // Cost returns a link cost function; nil means the link's IGP weight.
 type Cost func(graph.LinkID) float64
+
+// flatten materializes a cost closure into a per-link array and an alive
+// predicate into a down-set, the kernel's flat inputs. Closures passed
+// here must be pure (every closure in this repository is), so evaluating
+// them once per link instead of once per edge visit changes nothing.
+func flatten(g *graph.Graph, alive func(graph.LinkID) bool, cost Cost) ([]float64, *graph.LinkSet) {
+	nL := g.NumLinks()
+	costs := make([]float64, nL)
+	for id := 0; id < nL; id++ {
+		costs[id] = cost(graph.LinkID(id))
+	}
+	if alive == nil {
+		return costs, nil
+	}
+	var down graph.LinkSet
+	for id := 0; id < nL; id++ {
+		if !alive(graph.LinkID(id)) {
+			down.Add(graph.LinkID(id))
+		}
+	}
+	return costs, &down
+}
 
 // WeightCost returns the IGP-weight cost function for g.
 func WeightCost(g *graph.Graph) Cost {
@@ -50,30 +52,10 @@ func DelayCost(g *graph.Graph) Cost {
 // alive = all links). Unreachable nodes get Infinity. cost must be
 // nonnegative.
 func Dijkstra(g *graph.Graph, src graph.NodeID, alive func(graph.LinkID) bool, cost Cost) []float64 {
-	dist := make([]float64, g.NumNodes())
-	for i := range dist {
-		dist[i] = Infinity
-	}
-	dist[src] = 0
-	h := &pq{{src, 0}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.dist > dist[it.node] {
-			continue
-		}
-		for _, id := range g.Out(it.node) {
-			if alive != nil && !alive(id) {
-				continue
-			}
-			v := g.Link(id).Dst
-			nd := it.dist + cost(id)
-			if nd < dist[v] {
-				dist[v] = nd
-				heap.Push(h, pqItem{v, nd})
-			}
-		}
-	}
-	return dist
+	costs, down := flatten(g, alive, cost)
+	var s Scratch
+	SPFFrom(g.CSR(), src, costs, down, &s)
+	return s.Dist
 }
 
 // DijkstraTo computes shortest distances TO dst (over reversed links).
@@ -87,33 +69,14 @@ func DijkstraTo(g *graph.Graph, dst graph.NodeID, alive func(graph.LinkID) bool,
 // or at dst itself). Following the next pointers always yields a simple
 // path, which makes it the safe way to extract paths.
 func DijkstraToWithNext(g *graph.Graph, dst graph.NodeID, alive func(graph.LinkID) bool, cost Cost) ([]float64, []graph.LinkID) {
-	dist := make([]float64, g.NumNodes())
-	next := make([]graph.LinkID, g.NumNodes())
-	for i := range dist {
-		dist[i] = Infinity
-		next[i] = -1
+	costs, down := flatten(g, alive, cost)
+	var s Scratch
+	SPFTo(g.CSR(), dst, costs, down, &s)
+	next := make([]graph.LinkID, len(s.Next))
+	for i, id := range s.Next {
+		next[i] = graph.LinkID(id)
 	}
-	dist[dst] = 0
-	h := &pq{{dst, 0}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.dist > dist[it.node] {
-			continue
-		}
-		for _, id := range g.In(it.node) {
-			if alive != nil && !alive(id) {
-				continue
-			}
-			u := g.Link(id).Src
-			nd := it.dist + cost(id)
-			if nd < dist[u] {
-				dist[u] = nd
-				next[u] = id
-				heap.Push(h, pqItem{u, nd})
-			}
-		}
-	}
-	return dist, next
+	return s.Dist, next
 }
 
 // PathVia follows next pointers from DijkstraToWithNext to build the link
@@ -232,19 +195,71 @@ func nodesByDistDesc(dist []float64) []graph.NodeID {
 // unreachable get an all-zero fraction row (their traffic is lost, as under
 // a network partition).
 func ECMPFlow(g *graph.Graph, comms []routing.Commodity, alive func(graph.LinkID) bool, cost Cost) *routing.Flow {
+	var sc ECMPScratch
+	return ECMPFlowScratch(g, comms, alive, cost, &sc)
+}
+
+// ECMPScratch holds ECMPFlowScratch's reusable state: the per-destination
+// distance rows (a flat table indexed by node, invalidated by generation
+// stamp on every invocation — never by reallocation, so repeated calls
+// hold live memory bounded by one row per destination ever routed to),
+// the flattened cost/liveness inputs, and the SPF kernel scratch. The
+// zero value is ready to use; a scratch must not be shared between
+// concurrent calls.
+type ECMPScratch struct {
+	spf    Scratch
+	costs  []float64
+	down   graph.LinkSet
+	distTo [][]float64 // row per destination node, lazily allocated, reused
+	stamp  []int       // distTo[d] is valid iff stamp[d] == gen
+	gen    int
+}
+
+// ECMPFlowScratch is ECMPFlow with caller-owned scratch: repeated calls
+// (the weight optimizer probes hundreds of candidate weight settings)
+// reuse the per-destination distance table and kernel buffers instead of
+// growing a fresh map per call.
+func ECMPFlowScratch(g *graph.Graph, comms []routing.Commodity, alive func(graph.LinkID) bool, cost Cost, sc *ECMPScratch) *routing.Flow {
 	if cost == nil {
 		cost = WeightCost(g)
 	}
 	f := routing.NewFlow(g, comms)
-	// Group by destination so one reverse Dijkstra serves many sources.
-	distCache := make(map[graph.NodeID][]float64)
-	for k, c := range comms {
-		distTo, ok := distCache[c.Dst]
-		if !ok {
-			distTo = DijkstraTo(g, c.Dst, alive, cost)
-			distCache[c.Dst] = distTo
+	csr := g.CSR()
+	nN, nL := g.NumNodes(), g.NumLinks()
+	if cap(sc.costs) < nL {
+		sc.costs = make([]float64, nL)
+	}
+	sc.costs = sc.costs[:nL]
+	for id := 0; id < nL; id++ {
+		sc.costs[id] = cost(graph.LinkID(id))
+	}
+	var down *graph.LinkSet
+	if alive != nil {
+		sc.down.Clear()
+		for id := 0; id < nL; id++ {
+			if !alive(graph.LinkID(id)) {
+				sc.down.Add(graph.LinkID(id))
+			}
 		}
-		if fr := ecmpFractions(g, c.Src, c.Dst, alive, cost, distTo); fr != nil {
+		down = &sc.down
+	}
+	if len(sc.distTo) < nN {
+		sc.distTo = append(sc.distTo, make([][]float64, nN-len(sc.distTo))...)
+		sc.stamp = append(sc.stamp, make([]int, nN-len(sc.stamp))...)
+	}
+	sc.gen++
+	for k, c := range comms {
+		row := sc.distTo[c.Dst]
+		if sc.stamp[c.Dst] != sc.gen {
+			SPFTo(csr, c.Dst, sc.costs, down, &sc.spf)
+			if row == nil {
+				row = make([]float64, nN)
+				sc.distTo[c.Dst] = row
+			}
+			copy(row, sc.spf.Dist)
+			sc.stamp[c.Dst] = sc.gen
+		}
+		if fr := ecmpFractions(g, c.Src, c.Dst, alive, cost, row); fr != nil {
 			f.Frac[k] = fr
 		}
 	}

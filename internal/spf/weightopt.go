@@ -50,11 +50,15 @@ func OptimizeWeights(g *graph.Graph, demands []func(a, b graph.NodeID) float64, 
 		commsPer[i] = routing.ODCommodities(g.NumNodes(), d)
 	}
 
+	// One scratch across every candidate evaluation: the local search
+	// probes hundreds of weight settings, and each probe reuses the same
+	// per-destination distance table instead of growing a fresh cache.
+	var sc ECMPScratch
 	evaluate := func() (float64, []float64) {
 		worst := 0.0
 		var worstLoads []float64
 		for i := range demands {
-			f := ECMPFlow(g, commsPer[i], nil, WeightCost(g))
+			f := ECMPFlowScratch(g, commsPer[i], nil, WeightCost(g), &sc)
 			loads := f.Loads()
 			if u := routing.MLU(g, loads); u > worst {
 				worst = u
