@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos
 
 all: build vet test
 
@@ -46,6 +46,15 @@ bench-fw:
 profile-fw: build
 	$(GO) run ./cmd/r3plan -net generated -f 1 -effort 100 -workers 1 \
 		-cpuprofile cpu_fw.pprof -memprofile mem_fw.pprof
+
+# chaos runs the seeded fault-injection property suite — the 30%-loss
+# convergence acceptance test, Theorem 3 permutation tests, the
+# loop-guard and invariant-checker tests — plus vet, mirroring the CI
+# chaos-smoke job.
+chaos: vet
+	$(GO) test -count=1 -run 'TestChaos|TestReliableFlood|TestFireOnce|TestReflood|TestTheorem3|TestForwardLoopGuard|TestInvariant|TestDetectDelay' ./internal/netem
+	$(GO) test -count=1 -run 'TestFingerprint' ./internal/mplsff
+	$(GO) test -count=1 -run 'TestChaosLossSweep' ./internal/exp
 
 # fuzz-smoke runs each fuzz target briefly, mirroring the CI job.
 fuzz-smoke:

@@ -11,16 +11,21 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/netem"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "11", "figure: 11, 12 or 13")
+		fig    = flag.String("fig", "11", "figure: 11, 12, 13 or sweep")
 		phase  = flag.Float64("phase", 10, "seconds per failure phase")
 		mbps   = flag.Float64("mbps", 220, "aggregate offered traffic")
 		effort = flag.Int("effort", 120, "R3 precompute effort")
 		seed   = flag.Int64("seed", 1, "packet jitter seed")
+
+		chaos     = flag.Float64("chaos", 0, "chaos mode: drop this fraction of control packets (also enables fault injection); -fig sweep tabulates loss rates 0..30%")
+		chaosSeed = flag.Int64("chaos-seed", 1, "chaos fault-injection seed (independent of -seed)")
+		chaosRuns = flag.Int("chaos-runs", 8, "seeded runs per loss rate in -fig sweep")
 
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
 		traceOut   = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
@@ -41,6 +46,12 @@ func main() {
 		PhaseSeconds: *phase, TotalMbps: *mbps, Effort: *effort, Seed: *seed,
 		Obs: reg,
 	}
+	if *chaos > 0 {
+		cfg.Chaos = netem.ChaosConfig{
+			Enabled: true, Seed: *chaosSeed,
+			CtrlDrop: *chaos, CtrlJitter: 0.002,
+		}
+	}
 	switch *fig {
 	case "11":
 		r := exp.RunEmulation("MPLS-ff+R3", cfg)
@@ -52,6 +63,11 @@ func main() {
 		r3 := exp.RunEmulation("MPLS-ff+R3", cfg)
 		ospf := exp.RunEmulation("OSPF+recon", cfg)
 		exp.Figure13(r3, ospf, os.Stdout)
+	case "sweep":
+		losses := []float64{0, 0.10, 0.20, 0.30}
+		cfg.Seed = *chaosSeed
+		rows := exp.ChaosLossSweep(cfg, losses, *chaosRuns)
+		exp.PrintChaosSweep(rows, os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "r3emu: unknown figure %q\n", *fig)
 		os.Exit(2)

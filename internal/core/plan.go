@@ -95,6 +95,10 @@ func NewState(plan *Plan) *State {
 // Failed returns the set of failed links applied so far.
 func (s *State) Failed() graph.LinkSet { return s.failed.Clone() }
 
+// HasFailed reports whether link e has failed, without cloning the set
+// (the data plane consults this per packet).
+func (s *State) HasFailed(e graph.LinkID) bool { return s.failed.Contains(e) }
+
 // Base returns the current (reconfigured) base routing. The caller must
 // not modify it.
 func (s *State) Base() *routing.Flow { return s.base }

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChaosLossSweepShape runs a small sweep end-to-end and checks the
+// table's structural guarantees: one row per loss rate, full convergence
+// with the reliable flood at every tested loss, zero invariant
+// violations, re-flood activity only when chaos can actually drop
+// packets, and control overhead growing with the loss rate.
+func TestChaosLossSweepShape(t *testing.T) {
+	cfg := EmulationConfig{PhaseSeconds: 1, TotalMbps: 150, Effort: 40, Seed: 1}
+	losses := []float64{0, 0.30}
+	rows := ChaosLossSweep(cfg, losses, 3)
+
+	if len(rows) != len(losses) {
+		t.Fatalf("%d rows for %d loss rates", len(rows), len(losses))
+	}
+	for i, r := range rows {
+		if r.Loss != losses[i] || r.Runs != 3 {
+			t.Fatalf("row %d mislabeled: %+v", i, r)
+		}
+		if r.Converged != r.Runs {
+			t.Errorf("loss %.0f%%: only %d/%d runs converged", r.Loss*100, r.Converged, r.Runs)
+		}
+		if r.Violations != 0 {
+			t.Errorf("loss %.0f%%: %d invariant violations", r.Loss*100, r.Violations)
+		}
+		if r.MeanReconfigMS <= 0 || r.MaxReconfigMS < r.MeanReconfigMS {
+			t.Errorf("loss %.0f%%: implausible reconfig latencies mean=%.3f max=%.3f",
+				r.Loss*100, r.MeanReconfigMS, r.MaxReconfigMS)
+		}
+		if r.DeliveredRatio <= 0.9 || r.DeliveredRatio > 1.0 {
+			t.Errorf("loss %.0f%%: delivered ratio %.4f outside (0.9, 1.0]", r.Loss*100, r.DeliveredRatio)
+		}
+	}
+	if rows[1].CtrlKB <= rows[0].CtrlKB*0.5 {
+		// Retransmissions replace the lost floods; overhead cannot collapse.
+		t.Errorf("control overhead fell from %.1f KB to %.1f KB as loss rose", rows[0].CtrlKB, rows[1].CtrlKB)
+	}
+
+	var buf bytes.Buffer
+	PrintChaosSweep(rows, &buf)
+	out := buf.String()
+	if !strings.Contains(out, "loss%") || strings.Count(out, "\n") != 2+len(rows) {
+		t.Fatalf("unexpected sweep table:\n%s", out)
+	}
+	for _, want := range []string{"0\t3/3", "30\t3/3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -28,6 +28,9 @@ type EmulationConfig struct {
 	Effort int
 	// Seed drives packet arrival jitter.
 	Seed int64
+	// Chaos, when Enabled, injects seeded control/data-plane faults into
+	// the emulation (see netem.ChaosConfig).
+	Chaos netem.ChaosConfig
 	// Obs, when non-nil, receives precompute and emulator metrics.
 	Obs *obs.Registry
 }
@@ -105,7 +108,7 @@ func RunEmulation(forwarder string, cfg EmulationConfig) *EmulationResult {
 
 	em := netem.New(netem.Config{
 		G: g, Forwarder: fw, Seed: cfg.Seed, ConvergeDelay: converge,
-		Obs: cfg.Obs,
+		Chaos: cfg.Chaos, Obs: cfg.Obs,
 	})
 	stop := 4 * cfg.PhaseSeconds
 	d.Pairs(func(a, b graph.NodeID, mbps float64) {

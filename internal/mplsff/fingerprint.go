@@ -1,0 +1,89 @@
+package mplsff
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MaxStackDepth bounds the label-stack walk in one forwarding decision:
+// a packet needing more than this many stack operations at a single
+// router is looping through protection labels and must be dropped. R3
+// with F failures never stacks deeper than F labels, so 16 leaves ample
+// headroom while keeping adversarial tables from spinning forever.
+const MaxStackDepth = 16
+
+// KnowsFailed reports whether this view has been told link e failed,
+// without cloning the failure set (consulted per packet).
+func (n *Network) KnowsFailed(e graph.LinkID) bool { return n.state.HasFailed(e) }
+
+// Fingerprint digests the view's forwarding state: the failure set, the
+// base FIB and the ILM rows of every *surviving* link, all in canonical
+// order. Two routers whose floods delivered the same failure set in any
+// order produce identical fingerprints (Theorem 3); the emulator's
+// invariant checker compares them after every convergence.
+//
+// ILM rows of failed links are excluded on purpose: they hold the detour
+// ξ_e frozen at the moment e failed, and that snapshot legitimately
+// depends on the order failures were detected (see State.ProtEquals).
+func (n *Network) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+
+	failed := n.state.Failed()
+	for _, id := range failed.IDs() {
+		w64(uint64(id))
+	}
+	for _, r := range n.Routers {
+		w64(uint64(r.Node))
+		pairs := make([][2]graph.NodeID, 0, len(r.FIB))
+		for k := range r.FIB {
+			pairs = append(pairs, k)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		for _, k := range pairs {
+			w64(uint64(k[0])<<32 | uint64(k[1]))
+			for _, e := range r.FIB[k] {
+				w64(uint64(e.Out))
+				w64(uint64(e.OutLabel))
+				wf(e.Ratio)
+			}
+		}
+		labels := make([]Label, 0, len(r.ILM))
+		for lbl := range r.ILM {
+			if lbl >= ProtLabelBase && failed.Contains(graph.LinkID(lbl-ProtLabelBase)) {
+				continue // frozen detour row: order dependent by design
+			}
+			labels = append(labels, lbl)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		for _, lbl := range labels {
+			fwd := r.ILM[lbl]
+			w64(uint64(lbl))
+			if fwd.Pop {
+				w64(1)
+				continue
+			}
+			w64(2)
+			for _, e := range fwd.Entries {
+				w64(uint64(e.Out))
+				w64(uint64(e.OutLabel))
+				wf(e.Ratio)
+			}
+		}
+	}
+	return h.Sum64()
+}

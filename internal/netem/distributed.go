@@ -12,7 +12,8 @@ import (
 // flood. Between a failure and the flood's arrival at a given router,
 // that router still forwards on its stale view; once all routers have
 // heard of all failures their states are identical — Theorem 3's order
-// independence in action (verified by TestDistributedConvergence).
+// independence in action (verified by TestDistributedConvergence and the
+// emulator's always-on view-divergence invariant).
 type R3DistributedForwarder struct {
 	// views[u] is router u's private control plane.
 	views []*mplsff.Network
@@ -47,41 +48,18 @@ func (f *R3DistributedForwarder) OnNotification(u graph.NodeID, e graph.LinkID) 
 // View exposes router u's control plane (tests verify convergence).
 func (f *R3DistributedForwarder) View(u graph.NodeID) *mplsff.Network { return f.views[u] }
 
+// ViewFingerprint implements ViewInspector for the always-on convergence
+// invariant: canonical digest of router u's forwarding state.
+func (f *R3DistributedForwarder) ViewFingerprint(u graph.NodeID) uint64 {
+	return f.views[u].Fingerprint()
+}
+
+// ViewKnowsFailed implements ViewInspector.
+func (f *R3DistributedForwarder) ViewKnowsFailed(u graph.NodeID, e graph.LinkID) bool {
+	return f.views[u].KnowsFailed(e)
+}
+
 // Forward implements Forwarder, consulting only router u's own view.
 func (f *R3DistributedForwarder) Forward(u graph.NodeID, pk *Packet) (graph.LinkID, bool) {
-	view := f.views[u]
-	failed := view.Failed()
-	r := view.Routers[u]
-	for depth := 0; depth < 16; depth++ {
-		if len(pk.Stack) == 0 {
-			nh, ok := r.NextBase(pk.Src, pk.Dst, pk.Flow)
-			if !ok {
-				return 0, false
-			}
-			if failed.Contains(nh.Out) {
-				pk.Stack = append(pk.Stack, view.LabelOf[nh.Out])
-				continue
-			}
-			return nh.Out, true
-		}
-		top := pk.Stack[len(pk.Stack)-1]
-		nh, pop, ok := r.NextProtected(top, pk.Flow)
-		if !ok {
-			return 0, false
-		}
-		if pop {
-			pk.Stack = pk.Stack[:len(pk.Stack)-1]
-			continue
-		}
-		if failed.Contains(nh.Out) {
-			lbl := view.LabelOf[nh.Out]
-			if len(pk.Stack) > 0 && pk.Stack[len(pk.Stack)-1] == lbl {
-				return 0, false
-			}
-			pk.Stack = append(pk.Stack, lbl)
-			continue
-		}
-		return nh.Out, true
-	}
-	return 0, false
+	return mplsForward(f.views[u], u, pk)
 }

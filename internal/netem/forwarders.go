@@ -28,45 +28,9 @@ func (f *R3Forwarder) ApplyFailure(e graph.LinkID) {
 	_ = f.Net.OnFailure(e)
 }
 
-// Forward implements Forwarder.
+// Forward implements Forwarder via the shared MPLS-ff decision walk.
 func (f *R3Forwarder) Forward(u graph.NodeID, pk *Packet) (graph.LinkID, bool) {
-	failed := f.Net.Failed()
-	r := f.Net.Routers[u]
-	for depth := 0; depth < 16; depth++ {
-		if len(pk.Stack) == 0 {
-			nh, ok := r.NextBase(pk.Src, pk.Dst, pk.Flow)
-			if !ok {
-				return 0, false
-			}
-			if failed.Contains(nh.Out) {
-				// Activate protection: push the failed link's label and
-				// retry the lookup in labeled mode.
-				pk.Stack = append(pk.Stack, f.Net.LabelOf[nh.Out])
-				continue
-			}
-			return nh.Out, true
-		}
-		top := pk.Stack[len(pk.Stack)-1]
-		nh, pop, ok := r.NextProtected(top, pk.Flow)
-		if !ok {
-			return 0, false
-		}
-		if pop {
-			pk.Stack = pk.Stack[:len(pk.Stack)-1]
-			continue
-		}
-		if failed.Contains(nh.Out) {
-			// Nested failure along a frozen detour: stack another label.
-			lbl := f.Net.LabelOf[nh.Out]
-			if len(pk.Stack) > 0 && pk.Stack[len(pk.Stack)-1] == lbl {
-				return 0, false // detour for a link cannot protect itself
-			}
-			pk.Stack = append(pk.Stack, lbl)
-			continue
-		}
-		return nh.Out, true
-	}
-	return 0, false
+	return mplsForward(f.Net, u, pk)
 }
 
 // OSPFReconForwarder models plain OSPF with reconvergence: hash-based

@@ -4,11 +4,22 @@
 // driven by a traffic matrix; link-failure injection with detection and
 // reconvergence delays; and per-phase measurement of OD throughput, link
 // intensity, egress loss and ping RTT — everything Figures 11–13 need.
+//
+// Two robustness layers sit on top of the basic emulation: a seeded
+// chaos mode (chaos.go) that adversarially drops, duplicates, reorders
+// and delays packets and injects correlated failure bursts, and an
+// always-on invariant checker (invariants.go) that fails loudly — with
+// the seeds and an event trace — the moment the emulation violates the
+// paper's guarantees.
 package netem
 
 import (
 	"container/heap"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mplsff"
@@ -29,6 +40,13 @@ type Packet struct {
 	// §4.3) announcing that FailedLink is down.
 	Ctrl       bool
 	FailedLink graph.LinkID
+	// CtrlOrigin and CtrlSeq identify the announcing router's
+	// retransmission stream: the reliable flood dedups received
+	// notifications per (FailedLink, CtrlOrigin) by sequence number, so
+	// chaos-duplicated or re-flooded copies are discarded exactly once
+	// per router.
+	CtrlOrigin graph.NodeID
+	CtrlSeq    uint32
 }
 
 // Forwarder is a routing control/data plane under emulation.
@@ -81,6 +99,12 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// InstantDetect is the DetectDelay sentinel for zero-delay failure
+// detection. A plain zero keeps the 10 ms default (the Go zero value must
+// stay backward compatible), so instant detection needs an explicit
+// negative.
+const InstantDetect = -1.0
+
 // Config parameterizes an emulation run.
 type Config struct {
 	G         *graph.Graph
@@ -90,7 +114,8 @@ type Config struct {
 	// QueueBytes is the per-link drop-tail buffer (default 128 KiB).
 	QueueBytes int
 	// DetectDelay is the time from a failure to adjacent-router detection
-	// (default 10 ms).
+	// (default 10 ms). Use InstantDetect (any negative value) for
+	// zero-delay detection; 0 keeps the default.
 	DetectDelay float64
 	// ConvergeDelay is the additional time until ApplyFailure is invoked
 	// (0 for R3's local activation; seconds for OSPF reconvergence).
@@ -100,9 +125,26 @@ type Config struct {
 	FlowsPerPair int
 	// Seed drives packet arrival jitter.
 	Seed int64
+	// Chaos, when Enabled, layers seeded fault injection over the run:
+	// control/data packet drop, duplication and reordering, detection
+	// jitter and correlated multi-link failure bursts (see ChaosConfig).
+	Chaos ChaosConfig
+	// RefloodRounds is how many times each router that knows of a failure
+	// re-announces it to its neighbors (sequence-numbered, spaced
+	// RefloodInterval apart) — the reliable flood that survives lossy
+	// control channels. 0 defaults to 8 rounds when chaos is enabled and
+	// to the classic fire-once flood otherwise; negative forces fire-once.
+	RefloodRounds int
+	// RefloodInterval is the spacing of re-flood rounds (default 50 ms).
+	RefloodInterval float64
+	// OnViolation, when non-nil, receives invariant violations instead of
+	// the default loud panic (which reports the seeds and event trace).
+	// Violations are recorded on the emulator either way.
+	OnViolation func(Violation)
 	// Obs, when non-nil, receives emulator counters prefixed
 	// "netem.<forwarder>." (forwarded/dropped/delivered data packets and
-	// ctrl_packets for the notification flood) plus the
+	// ctrl_packets for the notification flood), the global
+	// "netem.reflood_rounds" and "netem.chaos.*" fault counters, plus the
 	// "netem.reconfig_us" histogram of reconfiguration latency in emulated
 	// microseconds: failure instant to network-wide convergence — last
 	// router notified on the flood path, ApplyFailure on the global path.
@@ -118,10 +160,22 @@ func (c *Config) defaults() {
 	}
 	if c.DetectDelay == 0 {
 		c.DetectDelay = 0.010
+	} else if c.DetectDelay < 0 {
+		c.DetectDelay = 0 // InstantDetect
 	}
 	if c.FlowsPerPair == 0 {
 		c.FlowsPerPair = 8
 	}
+	if c.RefloodRounds == 0 && c.Chaos.Enabled {
+		c.RefloodRounds = 8
+	}
+	if c.RefloodRounds < 0 {
+		c.RefloodRounds = 0
+	}
+	if c.RefloodInterval == 0 {
+		c.RefloodInterval = 0.050
+	}
+	c.Chaos.defaults()
 }
 
 // PhaseStats aggregates measurements between failure events.
@@ -141,6 +195,46 @@ type PhaseStats struct {
 
 // Duration returns the phase length.
 func (p *PhaseStats) Duration() float64 { return p.End - p.Start }
+
+// AppendCanonical serializes the phase into buf in a canonical order
+// (sorted OD pairs, float bit patterns), so two runs can be compared
+// byte for byte — the chaos determinism tests hash this.
+func (p *PhaseStats) AppendCanonical(buf []byte) []byte {
+	var b [8]byte
+	w64 := func(v uint64) {
+		binary.BigEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	w64(math.Float64bits(p.Start))
+	w64(math.Float64bits(p.End))
+	keys := make([][2]graph.NodeID, 0, len(p.OfferedBytes))
+	for k := range p.OfferedBytes {
+		keys = append(keys, k)
+	}
+	for k := range p.DeliveredBytes {
+		if _, ok := p.OfferedBytes[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		w64(uint64(k[0])<<32 | uint64(k[1]))
+		w64(uint64(p.OfferedBytes[k]))
+		w64(uint64(p.DeliveredBytes[k]))
+	}
+	for _, v := range p.LinkBytes {
+		w64(uint64(v))
+	}
+	for _, v := range p.DropsByDst {
+		w64(uint64(v))
+	}
+	return buf
+}
 
 // Emulator runs one configuration.
 type Emulator struct {
@@ -164,18 +258,40 @@ type Emulator struct {
 	// notifSeen[router] records which failed links the router has been
 	// notified of (flood deduplication).
 	notifSeen []graph.LinkSet
+	// ctrlSeen[router] is the reliable flood's receive-side dedup:
+	// highest sequence number processed per (failed link, origin) stream.
+	ctrlSeen []map[ctrlStream]uint32
+	// ctrlNext[router] is the per-failure send sequence counter.
+	ctrlNext []map[graph.LinkID]uint32
 	// CtrlBytes counts notification-flood bytes (control-plane overhead).
 	CtrlBytes int64
 
 	maxHops int
 
+	chaos *chaosState
+	inv   *Invariants
+	insp  ViewInspector // cfg.Forwarder, when it exposes per-router views
+	trace traceRing
+
+	refloodRounds int64
+
 	// Metric handles; nil (no-op) when Config.Obs is nil.
 	obsFwd, obsDrop, obsDeliv, obsCtrl *obs.Counter
+	obsReflood                         *obs.Counter
 	reconfigUS                         *obs.Histogram
 	// Reconfiguration-latency tracking per failed link: failure instant
 	// and, on the flood path, how many routers have been notified so far.
 	failedAt map[graph.LinkID]float64
 	notified map[graph.LinkID]int
+	// reconfigTimes mirrors the reconfig_us histogram as raw seconds so
+	// callers without a registry (the loss sweep) can read latencies.
+	reconfigTimes []float64
+}
+
+// ctrlStream keys the reliable flood's sequence-number dedup.
+type ctrlStream struct {
+	e      graph.LinkID
+	origin graph.NodeID
 }
 
 // New builds an emulator.
@@ -193,6 +309,8 @@ func New(cfg Config) *Emulator {
 	}
 	em.linkFree = make([]float64, cfg.G.NumLinks())
 	em.notifSeen = make([]graph.LinkSet, cfg.G.NumNodes())
+	em.ctrlSeen = make([]map[ctrlStream]uint32, cfg.G.NumNodes())
+	em.ctrlNext = make([]map[graph.LinkID]uint32, cfg.G.NumNodes())
 	name := "fwd"
 	if cfg.Forwarder != nil {
 		name = cfg.Forwarder.Name()
@@ -202,11 +320,21 @@ func New(cfg Config) *Emulator {
 	em.obsDrop = cfg.Obs.Counter(prefix + "dropped")
 	em.obsDeliv = cfg.Obs.Counter(prefix + "delivered")
 	em.obsCtrl = cfg.Obs.Counter(prefix + "ctrl_packets")
+	em.obsReflood = cfg.Obs.Counter("netem.reflood_rounds")
 	// Emulated reconfiguration latencies range from sub-millisecond LAN
 	// floods to multi-second OSPF timers: 1 µs .. ~67 s exponential grid.
 	em.reconfigUS = cfg.Obs.Histogram("netem.reconfig_us", obs.ExpBounds(1, 2, 26))
 	em.failedAt = make(map[graph.LinkID]float64)
 	em.notified = make(map[graph.LinkID]int)
+	if cfg.Chaos.Enabled {
+		em.chaos = newChaosState(cfg.Chaos, cfg.Obs)
+		for _, b := range cfg.Chaos.Bursts {
+			b := b
+			em.schedule(b.At, func() { em.burst(b) })
+		}
+	}
+	em.insp, _ = cfg.Forwarder.(ViewInspector)
+	em.inv = newInvariants(em)
 	em.cur = em.newPhase(0)
 	return em
 }
@@ -229,6 +357,60 @@ func (em *Emulator) Phases() []*PhaseStats { return em.phases }
 
 // Now returns the current emulation time.
 func (em *Emulator) Now() float64 { return em.now }
+
+// Invariants returns the always-on invariant checker (its recorded
+// violations in particular).
+func (em *Emulator) Invariants() *Invariants { return em.inv }
+
+// Violations returns the invariant violations recorded so far.
+func (em *Emulator) Violations() []Violation { return em.inv.Violations() }
+
+// FloodConverged reports whether every injected failure has completed
+// reconfiguration (all routers notified on the flood path, ApplyFailure
+// fired on the global path). Trivially true before any failure.
+func (em *Emulator) FloodConverged() bool { return len(em.failedAt) == 0 }
+
+// ReconfigTimes returns the failure→converged latencies (seconds)
+// observed so far, one per failed directed link, in convergence order.
+func (em *Emulator) ReconfigTimes() []float64 { return em.reconfigTimes }
+
+// RefloodRoundsFired counts reliable-flood retransmission rounds fired.
+func (em *Emulator) RefloodRoundsFired() int64 { return em.refloodRounds }
+
+// Fingerprint digests the run's externally visible output — every phase's
+// canonical bytes, the control-plane byte count and the RTT samples —
+// into one value. Two runs with identical (Seed, Chaos.Seed) must agree.
+func (em *Emulator) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf []byte
+	for _, p := range em.phases {
+		buf = p.AppendCanonical(buf[:0])
+		h.Write(buf)
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(em.CtrlBytes))
+	h.Write(b[:])
+	for _, s := range em.RTT {
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(s[0]))
+		h.Write(b[:])
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(s[1]))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// DataFingerprint digests only the data-plane phase measurements,
+// excluding control-plane overhead — used to show the chaos layer at
+// zero probability does not perturb the emulation proper.
+func (em *Emulator) DataFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf []byte
+	for _, p := range em.phases {
+		buf = p.AppendCanonical(buf[:0])
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
 
 func (em *Emulator) schedule(at float64, fn func()) {
 	em.seq++
@@ -292,65 +474,178 @@ func (em *Emulator) FailAt(t float64, e graph.LinkID) {
 		if rev := em.g.Link(e).Reverse; rev >= 0 {
 			ids = append(ids, rev)
 		}
-		for _, id := range ids {
-			em.linkUp[id] = false
-			em.failedAt[id] = em.now
-		}
-		em.cur.End = em.now
-		em.cur = em.newPhase(em.now)
-		if fa, ok := em.cfg.Forwarder.(FloodAware); ok {
-			em.schedule(em.now+em.cfg.DetectDelay, func() {
-				for _, id := range ids {
-					l := em.g.Link(id)
-					// Both endpoints detect via layer-2 monitoring and
-					// originate the flood.
-					em.notify(fa, l.Src, id)
-					em.notify(fa, l.Dst, id)
-				}
-			})
-			return
-		}
-		delay := em.cfg.DetectDelay + em.cfg.ConvergeDelay
-		em.schedule(em.now+delay, func() {
-			for _, id := range ids {
-				em.cfg.Forwarder.ApplyFailure(id)
-				if t, ok := em.failedAt[id]; ok {
-					em.reconfigUS.Observe(int64((em.now - t) * 1e6))
-					delete(em.failedAt, id)
-				}
-			}
-		})
+		em.failNow(ids)
 	})
 }
 
-// notify delivers a failure notification to router u and re-floods it on
-// every alive outgoing link (once per router per failed link).
+// failNow takes a set of directed links down at the current instant as
+// one correlated event: one phase boundary, then detection and
+// notification per link. FailAt routes single duplex failures here;
+// chaos bursts pass several links at once.
+func (em *Emulator) failNow(ids []graph.LinkID) {
+	for _, id := range ids {
+		em.linkUp[id] = false
+		em.failedAt[id] = em.now
+		em.trace.add(em.now, traceFail, int32(id), -1)
+	}
+	em.closePhase(em.now)
+	em.cur = em.newPhase(em.now)
+	if fa, ok := em.cfg.Forwarder.(FloodAware); ok {
+		if ch := em.chaos; ch != nil && ch.cfg.DetectJitter > 0 {
+			// Each adjacent router detects independently: layer-2
+			// monitoring timers are not synchronized across routers.
+			for _, id := range ids {
+				l := em.g.Link(id)
+				for _, end := range [2]graph.NodeID{l.Src, l.Dst} {
+					end, id := end, id
+					at := em.now + em.cfg.DetectDelay + ch.rng.Float64()*ch.cfg.DetectJitter
+					em.schedule(at, func() { em.notify(fa, end, id) })
+				}
+			}
+			return
+		}
+		em.schedule(em.now+em.cfg.DetectDelay, func() {
+			for _, id := range ids {
+				l := em.g.Link(id)
+				// Both endpoints detect via layer-2 monitoring and
+				// originate the flood.
+				em.notify(fa, l.Src, id)
+				em.notify(fa, l.Dst, id)
+			}
+		})
+		return
+	}
+	delay := em.cfg.DetectDelay + em.cfg.ConvergeDelay
+	em.schedule(em.now+delay, func() {
+		for _, id := range ids {
+			em.cfg.Forwarder.ApplyFailure(id)
+			if t, ok := em.failedAt[id]; ok {
+				em.observeReconfig(em.now - t)
+				delete(em.failedAt, id)
+			}
+		}
+		if len(em.failedAt) == 0 {
+			em.inv.checkConverged()
+		}
+	})
+}
+
+// burst fails b.Links randomly chosen alive duplex links simultaneously
+// (a correlated multi-failure event — shared conduits, power domains).
+func (em *Emulator) burst(b ChaosBurst) {
+	ch := em.chaos
+	var candidates []graph.LinkID
+	for id := 0; id < em.g.NumLinks(); id++ {
+		lid := graph.LinkID(id)
+		if !em.linkUp[lid] {
+			continue
+		}
+		if rev := em.g.Link(lid).Reverse; rev >= 0 && rev < lid {
+			continue // canonical direction only
+		}
+		candidates = append(candidates, lid)
+	}
+	if len(candidates) == 0 || b.Links <= 0 {
+		return
+	}
+	n := b.Links
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	perm := ch.rng.Perm(len(candidates))
+	var ids []graph.LinkID
+	for _, pi := range perm[:n] {
+		id := candidates[pi]
+		ids = append(ids, id)
+		if rev := em.g.Link(id).Reverse; rev >= 0 {
+			ids = append(ids, rev)
+		}
+	}
+	em.trace.add(em.now, traceBurst, int32(len(ids)), -1)
+	em.failNow(ids)
+}
+
+// observeReconfig records one failure→converged latency.
+func (em *Emulator) observeReconfig(dt float64) {
+	em.reconfigUS.Observe(int64(dt * 1e6))
+	em.reconfigTimes = append(em.reconfigTimes, dt)
+}
+
+// closePhase ends the current phase at t and runs the per-phase
+// invariants (Theorem 2: delivered load never exceeds capacity).
+func (em *Emulator) closePhase(t float64) {
+	em.cur.End = t
+	em.inv.checkPhaseCapacity(em.cur)
+}
+
+// notify delivers a failure notification to router u. The first time u
+// hears of e it reconfigures (OnNotification), relays the flood on every
+// alive outgoing link, and — when RefloodRounds > 0 — schedules periodic
+// sequence-numbered re-announcements so neighbors behind lossy links
+// still learn of e.
 func (em *Emulator) notify(fa FloodAware, u graph.NodeID, e graph.LinkID) {
 	if em.notifSeen[u].Contains(e) {
 		return
 	}
 	em.notifSeen[u].Add(e)
+	em.trace.add(em.now, traceNotify, int32(e), int32(u))
 	fa.OnNotification(u, e)
 	if t, ok := em.failedAt[e]; ok {
 		em.notified[e]++
 		// Convergence on the flood path: the last router has reconfigured.
 		if em.notified[e] == em.g.NumNodes() {
-			em.reconfigUS.Observe(int64((em.now - t) * 1e6))
+			em.observeReconfig(em.now - t)
 			delete(em.failedAt, e)
 			delete(em.notified, e)
+			if len(em.failedAt) == 0 {
+				em.inv.checkConverged()
+			}
 		}
 	}
+	em.floodOut(fa, u, e)
+	for i := 1; i <= em.cfg.RefloodRounds; i++ {
+		em.schedule(em.now+float64(i)*em.cfg.RefloodInterval, func() {
+			em.refloodRounds++
+			em.obsReflood.Inc()
+			em.floodOut(fa, u, e)
+		})
+	}
+}
+
+// floodOut announces failure e from router u on every alive outgoing
+// link, stamped with u's next sequence number for e.
+func (em *Emulator) floodOut(fa FloodAware, u graph.NodeID, e graph.LinkID) {
+	if em.ctrlNext[u] == nil {
+		em.ctrlNext[u] = make(map[graph.LinkID]uint32)
+	}
+	seq := em.ctrlNext[u][e]
+	em.ctrlNext[u][e] = seq + 1
 	for _, id := range em.g.Out(u) {
 		if !em.linkUp[id] {
 			continue
 		}
-		pk := &Packet{Size: 64, SentAt: em.now, Ctrl: true, FailedLink: e}
+		pk := &Packet{Size: 64, SentAt: em.now, Ctrl: true, FailedLink: e, CtrlOrigin: u, CtrlSeq: seq}
 		em.transmitCtrl(fa, id, pk)
 	}
 }
 
+// receiveCtrl processes an arriving notification: sequence-numbered dedup
+// per (failure, origin) stream, then the learn/relay path.
+func (em *Emulator) receiveCtrl(fa FloodAware, u graph.NodeID, pk *Packet) {
+	key := ctrlStream{e: pk.FailedLink, origin: pk.CtrlOrigin}
+	if last, ok := em.ctrlSeen[u][key]; ok && pk.CtrlSeq <= last {
+		return
+	}
+	if em.ctrlSeen[u] == nil {
+		em.ctrlSeen[u] = make(map[ctrlStream]uint32)
+	}
+	em.ctrlSeen[u][key] = pk.CtrlSeq
+	em.notify(fa, u, pk.FailedLink)
+}
+
 // transmitCtrl sends a control packet over one link, sharing the data
-// plane's serialization and propagation model.
+// plane's serialization and propagation model. Chaos may lose, duplicate
+// or delay the packet in flight.
 func (em *Emulator) transmitCtrl(fa FloodAware, out graph.LinkID, pk *Packet) {
 	link := em.g.Link(out)
 	rateBytes := link.Capacity * 1e6 / 8
@@ -363,12 +658,26 @@ func (em *Emulator) transmitCtrl(fa FloodAware, out graph.LinkID, pk *Packet) {
 	em.CtrlBytes += int64(pk.Size)
 	em.obsCtrl.Inc()
 	arrive := depart + link.Delay/1000
-	em.schedule(arrive, func() {
+	deliver := func() {
 		if !em.linkUp[out] {
 			return
 		}
-		em.notify(fa, link.Dst, pk.FailedLink)
-	})
+		em.receiveCtrl(fa, link.Dst, pk)
+	}
+	if ch := em.chaos; ch != nil {
+		if ch.cfg.CtrlDrop > 0 && ch.rng.Float64() < ch.cfg.CtrlDrop {
+			ch.droppedCtrl.Inc()
+			em.trace.add(em.now, traceChaosDropCtrl, int32(out), int32(pk.FailedLink))
+			return
+		}
+		if ch.cfg.CtrlDup > 0 && ch.rng.Float64() < ch.cfg.CtrlDup {
+			ch.duplicated.Inc()
+			em.trace.add(em.now, traceChaosDup, int32(out), int32(pk.FailedLink))
+			em.schedule(ch.jitter(arrive, ch.cfg.CtrlJitter), deliver)
+		}
+		arrive = ch.jitter(arrive, ch.cfg.CtrlJitter)
+	}
+	em.schedule(arrive, deliver)
 }
 
 // forward routes pk at node u after hops prior hops.
@@ -386,6 +695,7 @@ func (em *Emulator) forward(u graph.NodeID, pk *Packet, hops int) {
 		em.drop(pk)
 		return
 	}
+	em.inv.checkForward(u, out, pk)
 	if !em.linkUp[out] {
 		// Blackhole window: the data plane link is down but the control
 		// plane has not yet reacted.
@@ -399,6 +709,7 @@ func (em *Emulator) forward(u graph.NodeID, pk *Packet, hops int) {
 		em.drop(pk)
 		return
 	}
+	em.inv.checkTx(out)
 	start := em.linkFree[out]
 	if start < em.now {
 		start = em.now
@@ -408,14 +719,32 @@ func (em *Emulator) forward(u graph.NodeID, pk *Packet, hops int) {
 	em.cur.LinkBytes[out] += int64(pk.Size)
 	em.obsFwd.Inc()
 	arrive := depart + link.Delay/1000
-	em.schedule(arrive, func() {
-		if !em.linkUp[out] {
-			// The link died while the packet was in flight.
+	deliver := func(p *Packet) func() {
+		return func() {
+			if !em.linkUp[out] {
+				// The link died while the packet was in flight.
+				em.drop(p)
+				return
+			}
+			em.forward(link.Dst, p, hops+1)
+		}
+	}
+	if ch := em.chaos; ch != nil {
+		if ch.cfg.DataDrop > 0 && ch.rng.Float64() < ch.cfg.DataDrop {
+			ch.droppedData.Inc()
+			em.trace.add(em.now, traceChaosDropData, int32(out), -1)
 			em.drop(pk)
 			return
 		}
-		em.forward(link.Dst, pk, hops+1)
-	})
+		if ch.cfg.DataDup > 0 && ch.rng.Float64() < ch.cfg.DataDup {
+			ch.duplicated.Inc()
+			dup := *pk
+			dup.Stack = append([]mplsff.Label(nil), pk.Stack...)
+			em.schedule(ch.jitter(arrive, ch.cfg.DataJitter), deliver(&dup))
+		}
+		arrive = ch.jitter(arrive, ch.cfg.DataJitter)
+	}
+	em.schedule(arrive, deliver(pk))
 }
 
 func (em *Emulator) deliver(u graph.NodeID, pk *Packet) {
@@ -457,5 +786,5 @@ func (em *Emulator) Run(until float64) {
 		ev.fn()
 	}
 	em.now = until
-	em.cur.End = until
+	em.closePhase(until)
 }
