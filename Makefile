@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos transition
 
 all: build vet test
 
@@ -55,6 +55,16 @@ chaos: vet
 	$(GO) test -count=1 -run 'TestChaos|TestReliableFlood|TestFireOnce|TestReflood|TestTheorem3|TestForwardLoopGuard|TestInvariant|TestDetectDelay' ./internal/netem
 	$(GO) test -count=1 -run 'TestFingerprint' ./internal/mplsff
 	$(GO) test -count=1 -run 'TestChaosLossSweep' ./internal/exp
+
+# transition runs the staged-reconfiguration suite under the race
+# detector — scheduler property/differential tests, delta/round
+# versioning, staged delivery through the emulator, and the
+# staged-vs-one-shot sweep — mirroring the CI transition-smoke job.
+transition: vet
+	$(GO) test -race -count=1 ./internal/transition
+	$(GO) test -race -count=1 -run 'TestDiff|TestApplyRound|TestApplyDelta|TestFailAll' ./internal/mplsff ./internal/core
+	$(GO) test -race -count=1 -run 'TestStaged|TestFailAtSilent' ./internal/netem
+	$(GO) test -race -count=1 -run 'TestTransitionSweep' ./internal/exp
 
 # fuzz-smoke runs each fuzz target briefly, mirroring the CI job.
 fuzz-smoke:

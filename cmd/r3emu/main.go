@@ -27,6 +27,9 @@ func main() {
 		chaosSeed = flag.Int64("chaos-seed", 1, "chaos fault-injection seed (independent of -seed)")
 		chaosRuns = flag.Int("chaos-runs", 8, "seeded runs per loss rate in -fig sweep")
 
+		transitionF     = flag.Bool("transition", false, "compare staged (scheduler rounds over the staged-round flood) vs one-shot failure activation under chaos and exit")
+		transitionSeeds = flag.Int("transition-seeds", 32, "chaos seeds for -transition")
+
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
 		traceOut   = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -51,6 +54,11 @@ func main() {
 			Enabled: true, Seed: *chaosSeed,
 			CtrlDrop: *chaos, CtrlJitter: 0.002,
 		}
+	}
+	if *transitionF {
+		sum := exp.TransitionSweep(cfg, *transitionSeeds)
+		exp.PrintTransitionSweep(sum, os.Stdout)
+		return
 	}
 	switch *fig {
 	case "11":

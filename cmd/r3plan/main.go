@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/topo"
 	"repro/internal/traffic"
+	"repro/internal/transition"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		load      = flag.String("load", "", "read a plan from this file instead of solving")
 		fail      = flag.String("fail", "", "comma-separated link IDs to fail")
 		detours   = flag.Bool("detours", false, "print detours for the failed links")
+		stage     = flag.Bool("stage", false, "decompose the -fail set into staged reconfiguration rounds, each certified by the exact LP")
 		verify    = flag.Int("verify", 0, "audit the plan by enumerating failure sets of up to N links")
 		verifyCap = flag.Int("verifycap", 20000, "max scenarios for -verify (0 = unlimited)")
 
@@ -168,6 +171,51 @@ func main() {
 				}
 			}
 		}
+		if *stage {
+			printStaged(plan, failed, reg)
+		}
+	} else if *stage {
+		fatal(fmt.Errorf("-stage needs a -fail link list"))
+	}
+}
+
+// printStaged schedules the failure set into staged rounds and prints
+// each round's feasibility evidence: the rescaled state's MLU, the
+// asynchronous-application envelope, and the exact LP certificate.
+func printStaged(plan *core.Plan, failed []graph.LinkID, reg *obs.Registry) {
+	seq, err := transition.Schedule(plan, failed, transition.Options{Obs: reg})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nstaged reconfiguration: %d rounds, transient MLU %.4f, %d LP solves, %d bytes on the wire\n",
+		len(seq.Rounds), seq.TransientMLU, seq.LPSolves, seq.WireBytes())
+	for _, r := range seq.Rounds {
+		kind := "activate"
+		if r.Kind == transition.Swap {
+			kind = "swap"
+		}
+		fmt.Printf("  round %d [%s]", r.Seq, kind)
+		if len(r.Links) > 0 {
+			fmt.Printf(" links %v", r.Links)
+		}
+		fmt.Printf(": MLU %.4f, envelope %.4f", r.StateMLU, r.EnvelopeMLU)
+		if !math.IsNaN(r.LPMLU) {
+			fmt.Printf(", LP certificate %.4f", r.LPMLU)
+		}
+		if r.Fallback {
+			fmt.Print(", LP interim detour")
+		}
+		if r.CongestionFree {
+			fmt.Print(", congestion-free")
+		} else {
+			fmt.Print(", OVERLOADED")
+		}
+		fmt.Printf(", %d B\n", r.Delta.WireSize())
+	}
+	if seq.CongestionFree {
+		fmt.Println("verdict: congestion-free staged transition — every intermediate configuration within capacity (Theorem 2)")
+	} else {
+		fmt.Printf("verdict: best-effort transition; transient MLU bounded by %.4f\n", seq.TransientMLU)
 	}
 }
 

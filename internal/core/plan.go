@@ -92,6 +92,27 @@ func NewState(plan *Plan) *State {
 	}
 }
 
+// Clone deep-copies the state, so tentative failure sequences (the
+// transition scheduler's feasibility search) can be explored without
+// disturbing the live state.
+func (s *State) Clone() *State {
+	prot := make([][]float64, len(s.prot))
+	for i := range prot {
+		prot[i] = append([]float64(nil), s.prot[i]...)
+	}
+	detours := make(map[graph.LinkID][]float64, len(s.detours))
+	for e, xi := range s.detours {
+		detours[e] = append([]float64(nil), xi...)
+	}
+	return &State{
+		G:       s.G,
+		base:    s.base.Clone(),
+		prot:    prot,
+		failed:  s.failed.Clone(),
+		detours: detours,
+	}
+}
+
 // Failed returns the set of failed links applied so far.
 func (s *State) Failed() graph.LinkSet { return s.failed.Clone() }
 
@@ -110,15 +131,12 @@ func (s *State) Prot() [][]float64 { return s.prot }
 // Detour returns ξ_e for a failed link e (nil if e has not failed).
 func (s *State) Detour(e graph.LinkID) []float64 { return s.detours[e] }
 
-// Fail applies the failure of link e: computes the detour ξ_e by
-// rescaling p_e (equation (8)), then updates every base commodity
-// (equation (9)) and every remaining protection commodity (equation (10))
-// so that no demand traverses e. Failing an already-failed link is an
-// error.
-func (s *State) Fail(e graph.LinkID) error {
-	if s.failed.Contains(e) {
-		return fmt.Errorf("core: link %d already failed", e)
-	}
+// ComputeDetour returns the detour ξ_e that Fail would apply for link e:
+// the rescaling of equation (8) of the current protection routing p'_e.
+// It does not mutate the state, so alternative detours (e.g. an
+// LP-optimal interim detour during a staged transition) can be compared
+// against R3's own before committing via FailWith.
+func (s *State) ComputeDetour(e graph.LinkID) []float64 {
 	nL := s.G.NumLinks()
 	pe := s.prot[e]
 	pee := pe[e]
@@ -142,6 +160,40 @@ func (s *State) Fail(e graph.LinkID) error {
 	// else: pe(e) = 1 — the link carries no other demand (under the
 	// Theorem 1 condition) and ξ_e stays zero: any demand still on e is
 	// dropped, which is exactly the paper's treatment of partitions.
+	return xi
+}
+
+// Fail applies the failure of link e: computes the detour ξ_e by
+// rescaling p_e (equation (8)), then updates every base commodity
+// (equation (9)) and every remaining protection commodity (equation (10))
+// so that no demand traverses e. Failing an already-failed link is an
+// error.
+func (s *State) Fail(e graph.LinkID) error {
+	if s.failed.Contains(e) {
+		return fmt.Errorf("core: link %d already failed", e)
+	}
+	return s.FailWith(e, s.ComputeDetour(e))
+}
+
+// FailWith applies the failure of link e using a caller-supplied detour
+// ξ_e instead of R3's rescaling — the hook the transition scheduler uses
+// to model interim LP-computed detours. xi[l] is the fraction of e's
+// rerouted traffic carried by link l; xi[e] must be zero and len(xi)
+// must be NumLinks. Updates (9) and (10) are applied exactly as in Fail.
+func (s *State) FailWith(e graph.LinkID, xi []float64) error {
+	if int(e) < 0 || int(e) >= s.G.NumLinks() {
+		return fmt.Errorf("core: link %d out of range", e)
+	}
+	if s.failed.Contains(e) {
+		return fmt.Errorf("core: link %d already failed", e)
+	}
+	nL := s.G.NumLinks()
+	if len(xi) != nL {
+		return fmt.Errorf("core: detour for link %d has %d entries, want %d", e, len(xi), nL)
+	}
+	if xi[e] != 0 {
+		return fmt.Errorf("core: detour for link %d routes through the failed link itself", e)
+	}
 
 	// (9): r'_ab(l) = r_ab(l) + r_ab(e)·ξ_e(l).
 	for k := range s.base.Frac {
@@ -176,7 +228,7 @@ func (s *State) Fail(e graph.LinkID) error {
 	}
 
 	s.failed.Add(e)
-	s.detours[e] = xi
+	s.detours[e] = append([]float64(nil), xi...)
 	return nil
 }
 
@@ -185,9 +237,28 @@ func (s *State) Fail(e graph.LinkID) error {
 // strands demand (p_e(e) = 1 never occurs mid-sequence); once a partition
 // drops traffic, which demands were dropped — and therefore the exact
 // final allocations — depends on the detection order.
+//
+// FailAll is all-or-nothing: the whole list is validated before anything
+// is applied, so a mid-list error (an out-of-range ID, a link that
+// already failed, or a duplicate within the list) leaves the state
+// exactly as it was instead of with an applied prefix.
 func (s *State) FailAll(links ...graph.LinkID) error {
+	seen := graph.LinkSet{}
+	for _, e := range links {
+		if int(e) < 0 || int(e) >= s.G.NumLinks() {
+			return fmt.Errorf("core: link %d out of range", e)
+		}
+		if s.failed.Contains(e) {
+			return fmt.Errorf("core: link %d already failed", e)
+		}
+		if seen.Contains(e) {
+			return fmt.Errorf("core: link %d listed twice", e)
+		}
+		seen.Add(e)
+	}
 	for _, e := range links {
 		if err := s.Fail(e); err != nil {
+			// Unreachable after validation; surface it rather than hide it.
 			return err
 		}
 	}

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netem"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+	"repro/internal/transition"
+)
+
+// TransitionRun is one seeded comparison of staged vs one-shot activation
+// of the same failure set under the same chaos.
+type TransitionRun struct {
+	Seed int64
+	// StagedPeak and OneShotPeak are the worst measured link utilization
+	// over the transition window, on an identical measurement grid.
+	StagedPeak, OneShotPeak float64
+	// StagedDropKB and OneShotDropKB are bytes dropped over the window
+	// (blackholes plus queue overflow), in kilobytes.
+	StagedDropKB, OneShotDropKB float64
+	// Match reports that both runs converged and the staged end state is
+	// byte-identical to one-shot activation.
+	Match      bool
+	Violations int
+}
+
+// TransitionSummary aggregates a TransitionSweep.
+type TransitionSummary struct {
+	Rounds         int     // staged rounds k
+	TransientMLU   float64 // the scheduler's analytic transient bound
+	CongestionFree bool    // every round analytically congestion-free
+	WireKB         float64 // staged round deltas over the wire
+	Runs           []TransitionRun
+	StagedWorse    int // runs where the staged peak exceeded one-shot's
+	Matches        int
+	Violations     int
+}
+
+// transientTol absorbs measurement noise (packet quantization on the
+// shared 100 ms grid) when comparing staged vs one-shot peaks.
+const transientTol = 0.02
+
+// TransitionSweep compares staged against one-shot activation of the §5.3
+// Houston–KansasCity + Chicago–Indianapolis duplex failures on Abilene
+// across seeded chaos runs. The staged run takes the links down silently
+// and delivers the transition scheduler's rounds through the staged-round
+// flood; the one-shot run uses the classic failure-notification flood, so
+// every router reconfigures the moment it hears. Both runs share the
+// traffic seed and chaos seed and are measured on an identical 100 ms
+// grid, so the per-seed peak-utilization comparison isolates the
+// activation strategy.
+func TransitionSweep(cfg EmulationConfig, seeds int) *TransitionSummary {
+	cfg.defaults()
+	g := topo.Abilene()
+	d := traffic.AbileneMatrix(g, cfg.TotalMbps)
+	plan, err := core.Precompute(g, d, core.Config{
+		Model: core.ArbitraryFailures{F: 2}, Iterations: cfg.Effort,
+		PenaltyEnvelope: 1.1, Obs: cfg.Obs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	canon := abileneFailureSequence(g)[:2]
+	var fails []graph.LinkID
+	for _, e := range canon {
+		fails = append(fails, e, g.Link(e).Reverse)
+	}
+	seq, err := transition.Schedule(plan, fails, transition.Options{SkipCertify: true, Obs: cfg.Obs})
+	if err != nil {
+		panic(err)
+	}
+
+	sum := &TransitionSummary{
+		Rounds: len(seq.Rounds), TransientMLU: seq.TransientMLU,
+		CongestionFree: seq.CongestionFree, WireKB: float64(seq.WireBytes()) / 1024,
+	}
+
+	// The transient plays out on a sub-second scale regardless of
+	// cfg.PhaseSeconds: one warmup second, rounds 250 ms apart, then a
+	// settling tail.
+	const (
+		warmup   = 1.0
+		roundGap = 0.25
+		tail     = 1.2
+		binW     = 0.1
+	)
+	stop := warmup + roundGap*float64(len(seq.Rounds)) + tail
+
+	drive := func(chaos netem.ChaosConfig, staged bool) (*netem.Emulator, *netem.R3DistributedForwarder) {
+		fw := netem.NewR3Distributed(plan)
+		em := netem.New(netem.Config{G: g, Forwarder: fw, Seed: cfg.Seed, Obs: cfg.Obs, Chaos: chaos})
+		d.Pairs(func(a, b graph.NodeID, mbps float64) {
+			em.AddCBRTraffic(a, b, mbps*1e6/8, stop)
+		})
+		if staged {
+			em.FailAtSilent(warmup, canon...)
+			for i, r := range seq.Rounds {
+				em.StageRoundAt(warmup+0.02+float64(i)*roundGap, 0, r.Seq, r.Delta)
+			}
+		} else {
+			for _, e := range canon {
+				em.FailAt(warmup, e)
+			}
+		}
+		for t := warmup + binW; t < stop; t += binW {
+			em.MarkPhaseAt(t)
+		}
+		em.Run(stop)
+		return em, fw
+	}
+
+	for s := 0; s < seeds; s++ {
+		chaos := cfg.Chaos
+		if !chaos.Enabled {
+			chaos = netem.ChaosConfig{Enabled: true, CtrlDrop: 0.20, CtrlDup: 0.10, CtrlJitter: 0.002}
+		}
+		chaos.Seed += int64(s)
+		run := TransitionRun{Seed: chaos.Seed}
+
+		emS, fwS := drive(chaos, true)
+		emO, fwO := drive(chaos, false)
+
+		var sDrop, oDrop int64
+		run.StagedPeak, sDrop = transientPeak(emS, g, warmup)
+		run.OneShotPeak, oDrop = transientPeak(emO, g, warmup)
+		run.StagedDropKB = float64(sDrop) / 1024
+		run.OneShotDropKB = float64(oDrop) / 1024
+		run.Match = emS.StagesConverged() && emO.FloodConverged() &&
+			fwS.ViewFingerprint(0) == fwO.ViewFingerprint(0)
+		run.Violations = len(emS.Violations()) + len(emO.Violations())
+
+		if run.Match {
+			sum.Matches++
+		}
+		if run.StagedPeak > run.OneShotPeak+transientTol {
+			sum.StagedWorse++
+		}
+		sum.Violations += run.Violations
+		sum.Runs = append(sum.Runs, run)
+	}
+	return sum
+}
+
+// transientPeak scans the measurement phases from the failure instant on
+// and returns the worst per-link utilization plus total dropped bytes.
+func transientPeak(em *netem.Emulator, g *graph.Graph, from float64) (peak float64, dropBytes int64) {
+	for _, p := range em.Phases() {
+		if p.End <= from+1e-9 || p.Duration() < 0.005 {
+			continue
+		}
+		for e, b := range p.LinkBytes {
+			u := float64(b) * 8 / p.Duration() / 1e6 / g.Link(graph.LinkID(e)).Capacity
+			if u > peak {
+				peak = u
+			}
+		}
+		for _, b := range p.DropsByDst {
+			dropBytes += b
+		}
+	}
+	return peak, dropBytes
+}
+
+// PrintTransitionSweep renders the sweep as the r3emu -transition table.
+func PrintTransitionSweep(sum *TransitionSummary, w io.Writer) {
+	fmt.Fprintf(w, "# Staged vs one-shot activation (Abilene, Houston-KC + Chicago-Indy duplex failures)\n")
+	fmt.Fprintf(w, "# rounds=%d scheduler_transient_mlu=%.4f congestion_free=%v wire_KB=%.1f\n",
+		sum.Rounds, sum.TransientMLU, sum.CongestionFree, sum.WireKB)
+	fmt.Fprintln(w, "# seed\tstaged_peak\toneshot_peak\tstaged_dropKB\toneshot_dropKB\tmatch")
+	for _, r := range sum.Runs {
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\t%.1f\t%.1f\t%v\n",
+			r.Seed, r.StagedPeak, r.OneShotPeak, r.StagedDropKB, r.OneShotDropKB, r.Match)
+	}
+	fmt.Fprintf(w, "# staged peak <= one-shot peak in %d/%d runs; end states match in %d/%d; violations %d\n",
+		len(sum.Runs)-sum.StagedWorse, len(sum.Runs), sum.Matches, len(sum.Runs), sum.Violations)
+}

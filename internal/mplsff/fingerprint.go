@@ -18,7 +18,7 @@ const MaxStackDepth = 16
 
 // KnowsFailed reports whether this view has been told link e failed,
 // without cloning the failure set (consulted per packet).
-func (n *Network) KnowsFailed(e graph.LinkID) bool { return n.state.HasFailed(e) }
+func (n *Network) KnowsFailed(e graph.LinkID) bool { return n.failed.Contains(e) }
 
 // Fingerprint digests the view's forwarding state: the failure set, the
 // base FIB and the ILM rows of every *surviving* link, all in canonical
@@ -38,7 +38,7 @@ func (n *Network) Fingerprint() uint64 {
 	}
 	wf := func(v float64) { w64(math.Float64bits(v)) }
 
-	failed := n.state.Failed()
+	failed := n.failed
 	for _, id := range failed.IDs() {
 		w64(uint64(id))
 	}

@@ -143,6 +143,17 @@ type Network struct {
 	LabelOf map[graph.LinkID]Label
 
 	state *core.State
+	// failed is the network's own failure knowledge, updated by OnFailure
+	// and by staged row deltas (ApplyDelta); forwarding and fingerprints
+	// consult it rather than the bookkeeping state, so a view driven
+	// purely by table-level rounds behaves identically to one driven by
+	// R3's online rescaling.
+	failed graph.LinkSet
+	// nextRound and pending implement versioned round application: rounds
+	// are 1-based and strictly ordered; out-of-order arrivals buffer in
+	// pending until their predecessors apply.
+	nextRound int
+	pending   map[int]*Delta
 }
 
 // LabelFor returns the protection label of link e.
@@ -153,9 +164,10 @@ func LabelFor(e graph.LinkID) Label { return ProtLabelBase + Label(e) }
 func Build(plan *core.Plan) *Network {
 	st := core.NewState(plan)
 	n := &Network{
-		G:       plan.G,
-		LabelOf: make(map[graph.LinkID]Label, plan.G.NumLinks()),
-		state:   st,
+		G:         plan.G,
+		LabelOf:   make(map[graph.LinkID]Label, plan.G.NumLinks()),
+		state:     st,
+		nextRound: 1,
 	}
 	for e := 0; e < plan.G.NumLinks(); e++ {
 		n.LabelOf[graph.LinkID(e)] = LabelFor(graph.LinkID(e))
@@ -183,8 +195,9 @@ func Build(plan *core.Plan) *Network {
 // State exposes the underlying R3 online state (read-only use).
 func (n *Network) State() *core.State { return n.state }
 
-// Failed returns the failure set applied so far.
-func (n *Network) Failed() graph.LinkSet { return n.state.Failed() }
+// Failed returns the failure set this view knows about (via OnFailure or
+// staged deltas).
+func (n *Network) Failed() graph.LinkSet { return n.failed.Clone() }
 
 // OnFailure applies a link failure: R3 online reconfiguration rescales p,
 // and every router reprograms its protection splitting ratios (§4.3
@@ -193,14 +206,37 @@ func (n *Network) Failed() graph.LinkSet { return n.state.Failed() }
 // cross a failed link is carried around it by label stacking, which is
 // load-equivalent to the updated r' of equation (9). Idempotent per link.
 func (n *Network) OnFailure(e graph.LinkID) error {
-	if n.state.Failed().Contains(e) {
+	if n.failed.Contains(e) {
 		return nil
 	}
 	if err := n.state.Fail(e); err != nil {
 		return err
 	}
+	n.failed.Add(e)
 	n.programILM()
 	return nil
+}
+
+// ReprogramILM swaps in a new bookkeeping state and rebuilds every ILM
+// row from it, leaving the base FIB untouched (the FIB deliberately keeps
+// the pre-failure routing, exactly as OnFailure does). The transition
+// scheduler uses this to materialize each staged intermediate state on a
+// reference network before diffing it into a round delta.
+func (n *Network) ReprogramILM(st *core.State) {
+	n.state = st
+	n.failed = st.Failed()
+	n.programILM()
+}
+
+// ProgramColumn overwrites the ILM rows of one protected link's detour
+// with caller-supplied fractions (deleting the old rows first), e.g. an
+// LP-computed interim detour during a staged transition.
+func (n *Network) ProgramColumn(lid graph.LinkID, frac []float64) {
+	lbl := n.LabelOf[lid]
+	for _, r := range n.Routers {
+		delete(r.ILM, lbl)
+	}
+	n.programColumn(lid, frac)
 }
 
 // program builds both tables at setup time.

@@ -45,6 +45,14 @@ func (f *R3DistributedForwarder) OnNotification(u graph.NodeID, e graph.LinkID) 
 	_ = f.views[u].OnFailure(e)
 }
 
+// OnRound implements StageAware: a staged-reconfiguration round applies
+// to router u's private view with strict sequencing — duplicated or
+// reordered deliveries leave the view identical to one in-order delivery
+// (mplsff.ApplyRound buffers future rounds and ignores applied ones).
+func (f *R3DistributedForwarder) OnRound(u graph.NodeID, seq int, d *mplsff.Delta) {
+	f.views[u].ApplyRound(seq, d)
+}
+
 // View exposes router u's control plane (tests verify convergence).
 func (f *R3DistributedForwarder) View(u graph.NodeID) *mplsff.Network { return f.views[u] }
 

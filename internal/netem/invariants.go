@@ -91,10 +91,15 @@ func (iv *Invariants) checkTx(out graph.LinkID) {
 
 // checkConverged runs when no failure is awaiting reconfiguration: every
 // per-router view must have an identical fingerprint (Theorem 3 — the
-// notification order routers saw must not matter).
+// notification order routers saw must not matter). While staged
+// reconfiguration rounds are outstanding the check is suspended: views
+// at different rounds of a rollout legitimately differ.
 func (iv *Invariants) checkConverged() {
 	insp := iv.em.insp
 	if insp == nil {
+		return
+	}
+	if len(iv.em.stagedAt) > 0 {
 		return
 	}
 	want := insp.ViewFingerprint(0)
@@ -147,6 +152,7 @@ const (
 	traceChaosDropCtrl
 	traceChaosDropData
 	traceChaosDup
+	traceStage
 )
 
 func (k traceKind) String() string {
@@ -163,6 +169,8 @@ func (k traceKind) String() string {
 		return "chaos-drop-data"
 	case traceChaosDup:
 		return "chaos-dup"
+	case traceStage:
+		return "stage-round"
 	}
 	return "?"
 }

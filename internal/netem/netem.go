@@ -47,6 +47,11 @@ type Packet struct {
 	// per router.
 	CtrlOrigin graph.NodeID
 	CtrlSeq    uint32
+	// StageSeq, when positive, marks a staged-reconfiguration round
+	// announcement (staging.go): the packet carries transition round
+	// StageSeq instead of a failure notification, deduped per
+	// (StageSeq, CtrlOrigin) stream.
+	StageSeq int
 }
 
 // Forwarder is a routing control/data plane under emulation.
@@ -266,6 +271,19 @@ type Emulator struct {
 	// CtrlBytes counts notification-flood bytes (control-plane overhead).
 	CtrlBytes int64
 
+	// Staged reconfiguration (staging.go): per-round deltas keyed by
+	// transition sequence number, injection instants and reached-router
+	// counts for outstanding rounds (gates the view-divergence invariant
+	// during a rollout), per-router receive dedup and send counters for
+	// the round flood, and the per-router applied set.
+	stagedDeltas map[int]*mplsff.Delta
+	stagedAt     map[int]float64
+	stageCount   map[int]int
+	stageSeen    []map[stageStream]uint32
+	stageNext    []map[int]uint32
+	stageApplied []map[int]bool
+	obsStage     *obs.Counter
+
 	maxHops int
 
 	chaos *chaosState
@@ -311,6 +329,12 @@ func New(cfg Config) *Emulator {
 	em.notifSeen = make([]graph.LinkSet, cfg.G.NumNodes())
 	em.ctrlSeen = make([]map[ctrlStream]uint32, cfg.G.NumNodes())
 	em.ctrlNext = make([]map[graph.LinkID]uint32, cfg.G.NumNodes())
+	em.stagedDeltas = make(map[int]*mplsff.Delta)
+	em.stagedAt = make(map[int]float64)
+	em.stageCount = make(map[int]int)
+	em.stageSeen = make([]map[stageStream]uint32, cfg.G.NumNodes())
+	em.stageNext = make([]map[int]uint32, cfg.G.NumNodes())
+	em.stageApplied = make([]map[int]bool, cfg.G.NumNodes())
 	name := "fwd"
 	if cfg.Forwarder != nil {
 		name = cfg.Forwarder.Name()
@@ -320,6 +344,7 @@ func New(cfg Config) *Emulator {
 	em.obsDrop = cfg.Obs.Counter(prefix + "dropped")
 	em.obsDeliv = cfg.Obs.Counter(prefix + "delivered")
 	em.obsCtrl = cfg.Obs.Counter(prefix + "ctrl_packets")
+	em.obsStage = cfg.Obs.Counter("netem.stage_rounds")
 	em.obsReflood = cfg.Obs.Counter("netem.reflood_rounds")
 	// Emulated reconfiguration latencies range from sub-millisecond LAN
 	// floods to multi-second OSPF timers: 1 µs .. ~67 s exponential grid.
@@ -460,6 +485,17 @@ func (em *Emulator) AddPing(a, b graph.NodeID, interval, stop float64) {
 		em.schedule(em.now+interval, gen)
 	}
 	em.schedule(0, gen)
+}
+
+// MarkPhaseAt schedules a measurement-phase boundary at time t without
+// any other effect, so runs whose reconfiguration events fall at
+// different instants can still be compared over an identical measurement
+// grid (the staged-vs-one-shot transient comparison).
+func (em *Emulator) MarkPhaseAt(t float64) {
+	em.schedule(t, func() {
+		em.closePhase(em.now)
+		em.cur = em.newPhase(em.now)
+	})
 }
 
 // FailAt schedules a bidirectional link failure: the data plane drops the
@@ -629,9 +665,19 @@ func (em *Emulator) floodOut(fa FloodAware, u graph.NodeID, e graph.LinkID) {
 	}
 }
 
-// receiveCtrl processes an arriving notification: sequence-numbered dedup
-// per (failure, origin) stream, then the learn/relay path.
-func (em *Emulator) receiveCtrl(fa FloodAware, u graph.NodeID, pk *Packet) {
+// receiveCtrl processes an arriving control packet: staged-round
+// announcements branch to the staging path, failure notifications go
+// through sequence-numbered dedup per (failure, origin) stream, then the
+// learn/relay path.
+func (em *Emulator) receiveCtrl(fwd Forwarder, u graph.NodeID, pk *Packet) {
+	if pk.StageSeq > 0 {
+		em.receiveStage(u, pk)
+		return
+	}
+	fa, ok := fwd.(FloodAware)
+	if !ok {
+		return
+	}
 	key := ctrlStream{e: pk.FailedLink, origin: pk.CtrlOrigin}
 	if last, ok := em.ctrlSeen[u][key]; ok && pk.CtrlSeq <= last {
 		return
@@ -646,7 +692,7 @@ func (em *Emulator) receiveCtrl(fa FloodAware, u graph.NodeID, pk *Packet) {
 // transmitCtrl sends a control packet over one link, sharing the data
 // plane's serialization and propagation model. Chaos may lose, duplicate
 // or delay the packet in flight.
-func (em *Emulator) transmitCtrl(fa FloodAware, out graph.LinkID, pk *Packet) {
+func (em *Emulator) transmitCtrl(fwd Forwarder, out graph.LinkID, pk *Packet) {
 	link := em.g.Link(out)
 	rateBytes := link.Capacity * 1e6 / 8
 	start := em.linkFree[out]
@@ -662,7 +708,7 @@ func (em *Emulator) transmitCtrl(fa FloodAware, out graph.LinkID, pk *Packet) {
 		if !em.linkUp[out] {
 			return
 		}
-		em.receiveCtrl(fa, link.Dst, pk)
+		em.receiveCtrl(fwd, link.Dst, pk)
 	}
 	if ch := em.chaos; ch != nil {
 		if ch.cfg.CtrlDrop > 0 && ch.rng.Float64() < ch.cfg.CtrlDrop {

@@ -1,0 +1,364 @@
+// Package transition implements congestion-free staged reconfiguration:
+// turning "activate this failure set" into a sequence of k batched,
+// versioned, idempotent table-update rounds such that every intermediate
+// configuration is capacity-feasible (Theorem 2), verified by the exact
+// LP.
+//
+// The problem mirrors the sequence-of-intermediate-configurations
+// literature (DAG rerouting, reroutable flows): activating several
+// planned failures at once may transit an overloaded state even when the
+// end state is fine, while a well-chosen order — or an interim
+// LP-computed detour that is swapped out at the end — stays under
+// capacity throughout.
+//
+// The scheduler reasons over R3's online states. Theorem 3 makes the
+// state after activating a *set* of failures order-independent, so the
+// search space is the subset lattice of failure groups (duplex pairs
+// fail together, as a fiber cut would). For small instances an exact
+// BFS over the lattice finds the minimal number of rounds whose every
+// intermediate subset stays feasible; otherwise a greedy order activates
+// the group that minimizes the next state's MLU (tie-broken by freed
+// headroom). When no pure-R3 step is feasible but the exact LP certifies
+// the scenario itself has a feasible routing, the scheduler splits the
+// traffic shift: the offending link gets an LP-optimal interim detour
+// (applied via core.FailWith), and a final swap round reconciles every
+// router to the canonical R3 state — so the staged end state is
+// byte-identical to one-shot activation.
+package transition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/mcf"
+	"repro/internal/mplsff"
+	"repro/internal/obs"
+	"repro/internal/routing"
+)
+
+// RoundKind distinguishes activation rounds from the final swap round.
+type RoundKind int
+
+const (
+	// Activate rounds take a batch of links down and install their
+	// detours (pure R3 rescaling, or an LP interim detour on fallback).
+	Activate RoundKind = iota
+	// Swap rounds shift routers from interim detours to the canonical R3
+	// state; they change rows but no failure knowledge.
+	Swap
+)
+
+func (k RoundKind) String() string {
+	if k == Swap {
+		return "swap"
+	}
+	return "activate"
+}
+
+// Round is one staged update: a versioned row-level delta plus the
+// feasibility evidence the scheduler gathered for it.
+type Round struct {
+	// Seq is the 1-based round number (mplsff.ApplyRound sequence).
+	Seq int
+	Kind RoundKind
+	// Links are the directed links taken down this round (nil for swap).
+	Links []graph.LinkID
+	// Delta is the row-level table change distributed to every router.
+	Delta *mplsff.Delta
+	// StateMLU is the MLU of the configuration after the round completes.
+	StateMLU float64
+	// EnvelopeMLU bounds the transient MLU while routers apply the round
+	// asynchronously: the worst MLU over every intermediate activation
+	// subset between the previous and the new configuration.
+	EnvelopeMLU float64
+	// LPMLU is the exact LP's optimal MLU for the post-round scenario —
+	// the Theorem-2 certificate (≤ 1 means a feasible routing exists; it
+	// lower-bounds StateMLU). NaN when certification was skipped.
+	LPMLU float64
+	// Fallback marks rounds that installed an LP interim detour instead
+	// of the pure R3 rescaling.
+	Fallback bool
+	// CongestionFree reports StateMLU and EnvelopeMLU ≤ 1 (+tolerance).
+	CongestionFree bool
+}
+
+// Sequence is a complete staged transition.
+type Sequence struct {
+	Rounds []*Round
+	// CongestionFree reports every round stayed under capacity; when
+	// false the sequence is best-effort and TransientMLU reports how far
+	// over capacity the transition peaks.
+	CongestionFree bool
+	// TransientMLU is the worst EnvelopeMLU over all rounds.
+	TransientMLU float64
+	// FinalMLU is the MLU of the end state.
+	FinalMLU float64
+	// Fallbacks counts rounds that used an LP interim detour; Swaps
+	// counts reconciliation rounds (0 or 1).
+	Fallbacks, Swaps int
+	// LPSolves counts exact-LP invocations (certificates + detours).
+	LPSolves int
+	// Final is the reference network every router's view converges to
+	// after applying all rounds; its fingerprint equals one-shot
+	// activation of the same failure set.
+	Final *mplsff.Network
+	// Basis is the last certificate's optimal simplex basis, for
+	// warm-starting the next Schedule over the same plan via
+	// Options.Warm.
+	Basis *lp.Basis
+}
+
+// WireBytes totals the estimated control-plane bytes across rounds.
+func (s *Sequence) WireBytes() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += r.Delta.WireSize()
+	}
+	return n
+}
+
+// Options configures Schedule.
+type Options struct {
+	// Tol is the feasibility tolerance: MLU ≤ 1+Tol counts as
+	// congestion-free (default 1e-6).
+	Tol float64
+	// MaxExactGroups caps the exact subset-lattice search (default 6
+	// failure groups = 64 subsets); larger instances go straight to the
+	// greedy order.
+	MaxExactGroups int
+	// SkipCertify disables the per-round exact-LP certificate (LPMLU
+	// becomes NaN). The interim-detour fallback still uses the LP.
+	SkipCertify bool
+	// Warm seeds the first certificate solve with a basis from a prior
+	// Schedule over the same plan (the LP shape is scenario-invariant).
+	Warm *lp.Basis
+	// Obs receives transition.* counters and the "transition" trace.
+	Obs *obs.Registry
+}
+
+func (o *Options) defaults() {
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	if o.MaxExactGroups == 0 {
+		o.MaxExactGroups = 6
+	}
+}
+
+// DiffPlans diffs two precomputed plans at mplsff row granularity (base
+// FIB and protection ILM), the raw material of a plan-to-plan
+// transition. Both plans must be over the same graph.
+func DiffPlans(old, next *core.Plan) *mplsff.Delta {
+	return mplsff.Diff(mplsff.Build(old), mplsff.Build(next))
+}
+
+// Schedule decomposes the activation of a failure set into staged
+// rounds. The returned sequence's rounds are numbered 1..k and are meant
+// to be applied via mplsff.ApplyRound (directly or through the
+// emulator's staged delivery); applying all of them transforms
+// mplsff.Build(plan) into Sequence.Final.
+func Schedule(plan *core.Plan, failures []graph.LinkID, opts Options) (*Sequence, error) {
+	opts.defaults()
+	g := plan.G
+	var seen graph.LinkSet
+	for _, e := range failures {
+		if int(e) < 0 || int(e) >= g.NumLinks() {
+			return nil, fmt.Errorf("transition: link %d out of range", e)
+		}
+		if seen.Contains(e) {
+			return nil, fmt.Errorf("transition: link %d listed twice", e)
+		}
+		seen.Add(e)
+	}
+
+	sc := &scheduler{
+		plan:      plan,
+		g:         g,
+		opts:      opts,
+		states:    make(map[uint64]*core.State),
+		mlus:      make(map[uint64]float64),
+		certBasis: opts.Warm,
+	}
+	sc.groupFailures(failures)
+
+	reg := opts.Obs
+	span := reg.Trace("transition").Start("schedule")
+	span.SetFloat("failures", float64(len(failures)))
+	span.SetFloat("groups", float64(len(sc.groups)))
+
+	seq := sc.execute(sc.search())
+
+	span.SetFloat("rounds", float64(len(seq.Rounds)))
+	span.SetFloat("transient_mlu", seq.TransientMLU)
+	span.SetFloat("lp_solves", float64(seq.LPSolves))
+	span.End()
+	reg.Counter("transition.rounds").Add(int64(len(seq.Rounds)))
+	reg.Counter("transition.lp_solves").Add(int64(seq.LPSolves))
+	reg.Counter("transition.fallbacks").Add(int64(seq.Fallbacks))
+	reg.Counter("transition.swaps").Add(int64(seq.Swaps))
+	if !seq.CongestionFree {
+		reg.Counter("transition.best_effort").Inc()
+	}
+	return seq, nil
+}
+
+// scheduler carries the per-Schedule search state.
+type scheduler struct {
+	plan *core.Plan
+	g    *graph.Graph
+	opts Options
+	// groups are the activation units: duplex link pairs fail together.
+	groups [][]graph.LinkID
+	// states/mlus cache the canonical (sorted-order) R3 state per group
+	// subset; Theorem 3 makes the subset, not the order, the identity.
+	states map[uint64]*core.State
+	mlus   map[uint64]float64
+
+	certBasis *lp.Basis
+	lpSolves  int
+}
+
+// groupFailures partitions the failure list into duplex groups: when
+// both directions of a duplex link are failing they activate atomically
+// (a fiber cut takes both), otherwise the directed link is its own
+// group. Groups are sorted by their smallest link ID.
+func (sc *scheduler) groupFailures(failures []graph.LinkID) {
+	var set graph.LinkSet
+	for _, e := range failures {
+		set.Add(e)
+	}
+	sorted := append([]graph.LinkID(nil), failures...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var assigned graph.LinkSet
+	for _, e := range sorted {
+		if assigned.Contains(e) {
+			continue
+		}
+		grp := []graph.LinkID{e}
+		assigned.Add(e)
+		if rev := sc.g.Link(e).Reverse; rev >= 0 && set.Contains(rev) && !assigned.Contains(rev) {
+			grp = append(grp, rev)
+			assigned.Add(rev)
+		}
+		sc.groups = append(sc.groups, grp)
+	}
+}
+
+// linksOf expands a group bitmask into a sorted directed-link list.
+func (sc *scheduler) linksOf(mask uint64) []graph.LinkID {
+	var links []graph.LinkID
+	for i := range sc.groups {
+		if mask&(1<<i) != 0 {
+			links = append(links, sc.groups[i]...)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	return links
+}
+
+// stateOf returns the canonical R3 state after activating the subset:
+// failures applied in sorted link order from the pristine plan. Cached;
+// callers must treat the result as read-only (Clone before mutating).
+func (sc *scheduler) stateOf(mask uint64) *core.State {
+	if st, ok := sc.states[mask]; ok {
+		return st
+	}
+	st := core.NewState(sc.plan)
+	if err := st.FailAll(sc.linksOf(mask)...); err != nil {
+		// Unreachable: Schedule validated the failure list.
+		panic(fmt.Sprintf("transition: canonical state %b: %v", mask, err))
+	}
+	sc.states[mask] = st
+	return st
+}
+
+func (sc *scheduler) mluOf(mask uint64) float64 {
+	if m, ok := sc.mlus[mask]; ok {
+		return m
+	}
+	m := sc.stateOf(mask).MLU()
+	sc.mlus[mask] = m
+	return m
+}
+
+// envelope bounds the transient MLU of a round that takes the
+// configuration from subset cum to cum|add while routers update
+// asynchronously: the worst MLU over every intermediate subset. (The
+// per-link transient load is bounded by the worst load that link carries
+// in any intermediate configuration.)
+func (sc *scheduler) envelope(cum, add uint64) float64 {
+	worst := sc.mluOf(cum)
+	for sub := add; ; sub = (sub - 1) & add {
+		if m := sc.mluOf(cum | sub); m > worst {
+			worst = m
+		}
+		if sub == 0 {
+			break
+		}
+	}
+	return worst
+}
+
+// certify runs the Theorem-2 certificate for a failure scenario: the
+// exact LP's optimal MLU over the plan's demands restricted to surviving
+// links. Warm-started from the previous certificate (the LP shape is
+// scenario-invariant). Returns NaN when disabled or the LP fails.
+func (sc *scheduler) certify(failed graph.LinkSet) float64 {
+	if sc.opts.SkipCertify {
+		return math.NaN()
+	}
+	res, err := mcf.MinMLUExact(sc.g, sc.plan.Base.Comms, mcf.Options{
+		Alive: failed.Alive(),
+		Warm:  sc.certBasis,
+		Obs:   sc.opts.Obs,
+	})
+	sc.lpSolves++
+	if err != nil {
+		return math.NaN()
+	}
+	sc.certBasis = res.Basis
+	return res.MLU
+}
+
+// interimDetour asks the exact LP for the best detour for link e's
+// current load: a single head→tail commodity over surviving links (also
+// excluding links about to fail in the same round), with the rest of the
+// network's load as background. Returns the detour fractions ξ̃ and the
+// resulting MLU.
+func (sc *scheduler) interimDetour(st *core.State, e graph.LinkID, alsoDown []graph.LinkID) ([]float64, float64, error) {
+	loads := st.Loads()
+	link := sc.g.Link(e)
+	bg := append([]float64(nil), loads...)
+	bg[e] = 0
+	dead := st.Failed()
+	dead.Add(e)
+	for _, x := range alsoDown {
+		dead.Add(x)
+	}
+	res, err := mcf.MinMLUExact(sc.g,
+		[]routing.Commodity{{Src: link.Src, Dst: link.Dst, Demand: loads[e], Link: e}},
+		mcf.Options{Alive: dead.Alive(), Background: bg, Obs: sc.opts.Obs})
+	sc.lpSolves++
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Dropped > 0 {
+		return nil, 0, fmt.Errorf("transition: link %d's head is partitioned from its tail", e)
+	}
+	xi := append([]float64(nil), res.Flow.Frac[0]...)
+	xi[e] = 0
+	return xi, res.MLU, nil
+}
+
+// materialize programs a reference network for a state: fresh build
+// (deterministic salts and rows), then ILM reprogrammed from the state.
+// The base FIB keeps the pre-failure routing, exactly like OnFailure.
+func (sc *scheduler) materialize(st *core.State) *mplsff.Network {
+	n := mplsff.Build(sc.plan)
+	n.ReprogramILM(st)
+	return n
+}
