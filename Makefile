@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos transition
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos transition daemon
 
 all: build vet test
 
@@ -65,6 +65,14 @@ transition: vet
 	$(GO) test -race -count=1 -run 'TestDiff|TestApplyRound|TestApplyDelta|TestFailAll' ./internal/mplsff ./internal/core
 	$(GO) test -race -count=1 -run 'TestStaged|TestFailAtSilent' ./internal/netem
 	$(GO) test -race -count=1 -run 'TestTransitionSweep' ./internal/exp
+
+# daemon runs the control-plane suite under the race detector (lifecycle
+# byte-identity, concurrent reads across swaps, cache determinism,
+# breaker/rate-limit admission) and builds the r3d planner daemon,
+# mirroring the CI daemon-smoke job.
+daemon: vet
+	$(GO) test -race -count=1 ./internal/controlplane
+	$(GO) build -o r3d ./cmd/r3d
 
 # fuzz-smoke runs each fuzz target briefly, mirroring the CI job.
 fuzz-smoke:

@@ -42,6 +42,7 @@ func main() {
 		fail      = flag.String("fail", "", "comma-separated link IDs to fail")
 		detours   = flag.Bool("detours", false, "print detours for the failed links")
 		stage     = flag.Bool("stage", false, "decompose the -fail set into staged reconfiguration rounds, each certified by the exact LP")
+		fprint    = flag.Bool("fingerprint", false, "print the plan's wire-format content digest (matches r3d's X-R3-Digest)")
 		verify    = flag.Int("verify", 0, "audit the plan by enumerating failure sets of up to N links")
 		verifyCap = flag.Int("verifycap", 20000, "max scenarios for -verify (0 = unlimited)")
 
@@ -118,6 +119,14 @@ func main() {
 		fmt.Println("certificate: congestion-free under every covered failure scenario (Theorem 1)")
 	} else {
 		fmt.Println("certificate: NOT congestion-free (MLU > 1); reroutes are best-effort")
+	}
+
+	if *fprint {
+		fp, err := plan.WireFingerprint()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan digest: %016x\n", fp)
 	}
 
 	if *save != "" {

@@ -1,0 +1,227 @@
+package controlplane
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Clock abstracts time.Now so admission control is testable with a fake
+// clock.
+type Clock func() time.Time
+
+// ---------------------------------------------------------------------
+// Per-client token-bucket rate limiting.
+// ---------------------------------------------------------------------
+
+// bucket is one client's token bucket. Tokens refill continuously at
+// rate/s up to burst; each request costs one token.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter applies a token-bucket rate limit per client identity. The
+// zero rate means unlimited.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	rate    float64 // tokens per second
+	burst   float64
+	now     Clock
+
+	allowed, limited *obs.Counter
+}
+
+// NewLimiter builds a per-client limiter refilling rate tokens/second
+// with the given burst capacity (minimum 1 when rate > 0). A rate <= 0
+// disables limiting. clock may be nil (wall clock); reg may be nil.
+func NewLimiter(rate float64, burst int, clock Clock, reg *obs.Registry) *Limiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &Limiter{
+		buckets: make(map[string]*bucket),
+		rate:    rate,
+		burst:   b,
+		now:     clock,
+		allowed: reg.Counter("cp.admit.allowed"),
+		limited: reg.Counter("cp.admit.limited"),
+	}
+}
+
+// Allow consumes one token from client's bucket. When the bucket is
+// empty it returns false and the duration until a token will be
+// available (the Retry-After hint).
+func (l *Limiter) Allow(client string) (bool, time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed.Inc()
+		return true, 0
+	}
+	l.limited.Inc()
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker around precompute/LP failures.
+// ---------------------------------------------------------------------
+
+// BreakerState is the circuit breaker's tri-state.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe request is admitted; its
+	// outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is a closed → open → half-open circuit breaker. It guards the
+// precompute path: after threshold consecutive failures the circuit
+// opens and update requests are rejected for cooldown; then a single
+// probe is let through, and its outcome decides between closing the
+// circuit and another full cooldown.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	probing   bool
+	now       Clock
+
+	trips, probes, successes, failCount *obs.Counter
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (minimum 1) for the given cooldown. clock may be nil (wall
+// clock); reg may be nil.
+func NewBreaker(threshold int, cooldown time.Duration, clock Clock, reg *obs.Registry) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       clock,
+		trips:     reg.Counter("cp.breaker.trips"),
+		probes:    reg.Counter("cp.breaker.probes"),
+		successes: reg.Counter("cp.breaker.successes"),
+		failCount: reg.Counter("cp.breaker.failures"),
+	}
+}
+
+// Allow reports whether a guarded request may proceed. In the open state
+// it returns false until the cooldown elapses, then transitions to
+// half-open and admits exactly one probe; further requests are rejected
+// until the probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes.Inc()
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.probes.Inc()
+		return true
+	}
+}
+
+// Success records a successful guarded operation: resets the failure
+// count and closes the circuit from half-open.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes.Inc()
+	b.failures = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed guarded operation. In the closed state it
+// counts toward the threshold; in half-open it re-opens the circuit for
+// another full cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failCount.Inc()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips.Inc()
+	default:
+		b.failures++
+		if b.failures >= b.threshold && b.state == BreakerClosed {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips.Inc()
+		}
+	}
+}
+
+// State returns the breaker's current state. An elapsed open cooldown
+// still reports open until the next Allow admits the probe — readiness
+// flips back only once a probe has actually been let through.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

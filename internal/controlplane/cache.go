@@ -1,0 +1,123 @@
+package controlplane
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// cacheEntry is one cached precomputation output: the plan plus its
+// canonical wire bytes (served verbatim, so repeated requests are
+// byte-identical without re-encoding).
+type cacheEntry struct {
+	key   CacheKey
+	plan  *core.Plan
+	bytes []byte
+}
+
+// Cache is an LRU plan cache keyed by (topology digest, traffic
+// fingerprint, config hash). Eviction respects a pin predicate: entries
+// whose key is still referenced by a retained revision are never evicted,
+// whatever the capacity — rollback must be able to restore any retained
+// revision without recomputing, so the revision log sets the floor.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*cacheEntry
+	// order is LRU order, oldest first. len(order) == len(entries).
+	order  []CacheKey
+	pinned func(CacheKey) bool
+
+	hits, misses, evictions *obs.Counter
+	size                    *obs.Gauge
+}
+
+// NewCache builds a cache holding at most capacity unpinned entries
+// (minimum 1). pinned may be nil (nothing pinned). reg may be nil.
+func NewCache(capacity int, pinned func(CacheKey) bool, reg *obs.Registry) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:       capacity,
+		entries:   make(map[CacheKey]*cacheEntry),
+		pinned:    pinned,
+		hits:      reg.Counter("cp.cache.hits"),
+		misses:    reg.Counter("cp.cache.misses"),
+		evictions: reg.Counter("cp.cache.evictions"),
+		size:      reg.Gauge("cp.cache.size"),
+	}
+}
+
+// Get returns the cached plan and bytes for key, bumping its recency.
+// The returned bytes must not be modified.
+func (c *Cache) Get(key CacheKey) (*core.Plan, []byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, nil, false
+	}
+	c.hits.Inc()
+	c.touch(key)
+	return e.plan, e.bytes, true
+}
+
+// Put inserts (or refreshes) an entry and evicts the least recently used
+// unpinned entries beyond capacity. The cache takes ownership of bytes.
+func (c *Cache) Put(key CacheKey, plan *core.Plan, bytes []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = &cacheEntry{key: key, plan: plan, bytes: bytes}
+		c.touch(key)
+		return
+	}
+	c.entries[key] = &cacheEntry{key: key, plan: plan, bytes: bytes}
+	c.order = append(c.order, key)
+	c.evict()
+	c.size.Set(int64(len(c.entries)))
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// touch moves key to the most-recent end of the LRU order.
+func (c *Cache) touch(key CacheKey) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}
+
+// evict removes oldest unpinned entries while more than cap entries are
+// unpinned. Pinned entries are skipped in place: the cache may hold
+// pinned entries beyond capacity (the retained-revision floor).
+func (c *Cache) evict() {
+	unpinned := 0
+	for _, k := range c.order {
+		if c.pinned == nil || !c.pinned(k) {
+			unpinned++
+		}
+	}
+	for i := 0; unpinned > c.cap && i < len(c.order); {
+		k := c.order[i]
+		if c.pinned != nil && c.pinned(k) {
+			i++
+			continue
+		}
+		delete(c.entries, k)
+		c.order = append(c.order[:i], c.order[i+1:]...)
+		c.evictions.Inc()
+		unpinned--
+	}
+}

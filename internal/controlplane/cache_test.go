@@ -1,0 +1,173 @@
+package controlplane
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func ckey(i int) CacheKey { return CacheKey{Topo: 1, Traffic: uint64(i), Config: 2} }
+
+// TestCacheLRU: capacity bounds unpinned entries, eviction is
+// least-recently-used, and Get bumps recency.
+func TestCacheLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(2, nil, reg)
+	c.Put(ckey(1), nil, []byte("p1"))
+	c.Put(ckey(2), nil, []byte("p2"))
+	if _, b, ok := c.Get(ckey(1)); !ok || string(b) != "p1" {
+		t.Fatalf("Get(k1) = %q, %v", b, ok)
+	}
+	// k2 is now least-recently-used; inserting k3 evicts it.
+	c.Put(ckey(3), nil, []byte("p3"))
+	if _, _, ok := c.Get(ckey(2)); ok {
+		t.Fatal("k2 survived eviction although it was LRU")
+	}
+	if _, _, ok := c.Get(ckey(1)); !ok {
+		t.Fatal("k1 evicted although recently used")
+	}
+	if _, _, ok := c.Get(ckey(3)); !ok {
+		t.Fatal("k3 missing right after Put")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cp.cache.evictions"] != 1 {
+		t.Fatalf("evictions = %d, want 1", snap.Counters["cp.cache.evictions"])
+	}
+	if snap.Counters["cp.cache.hits"] != 3 || snap.Counters["cp.cache.misses"] != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1",
+			snap.Counters["cp.cache.hits"], snap.Counters["cp.cache.misses"])
+	}
+}
+
+// TestCachePinnedFloor: pinned entries are never evicted, whatever the
+// capacity — the cache may exceed cap while the pin set demands it.
+func TestCachePinnedFloor(t *testing.T) {
+	pins := map[CacheKey]bool{ckey(1): true, ckey(2): true}
+	c := NewCache(1, func(k CacheKey) bool { return pins[k] }, nil)
+	c.Put(ckey(1), nil, []byte("p1"))
+	c.Put(ckey(2), nil, []byte("p2"))
+	c.Put(ckey(3), nil, []byte("p3"))
+	// Two pinned + one unpinned within cap: all retained.
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (pinned floor exceeds capacity)", c.Len())
+	}
+	// A second unpinned entry pushes the older unpinned one (k3) out;
+	// pinned k1/k2 must survive.
+	c.Put(ckey(4), nil, []byte("p4"))
+	if _, _, ok := c.Get(ckey(3)); ok {
+		t.Fatal("unpinned k3 survived beyond capacity")
+	}
+	for _, k := range []CacheKey{ckey(1), ckey(2), ckey(4)} {
+		if _, _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %v missing", k)
+		}
+	}
+	// Unpinning releases the floor: the next insert can now evict k1.
+	delete(pins, ckey(1))
+	c.Put(ckey(5), nil, []byte("p5"))
+	if _, _, ok := c.Get(ckey(1)); ok {
+		t.Fatal("k1 survived although unpinned and beyond capacity")
+	}
+}
+
+// TestServerCacheDeterministic: the same (topology, traffic, config) key
+// never recomputes — an identical re-post is a pure cache hit — while a
+// one-byte traffic perturbation always misses and recomputes.
+func TestServerCacheDeterministic(t *testing.T) {
+	s, ts, reg := newTestServer(t, testFWConfig(), nil)
+	g := testGraph()
+	d1 := testMatrix(g, 150, 1)
+
+	pre0 := reg.Snapshot().Counters["cp.precomputes"]
+	if pre0 != 1 {
+		t.Fatalf("boot ran %d precomputes, want 1", pre0)
+	}
+	hits0 := reg.Snapshot().Counters["cp.cache.hits"]
+
+	// Identical matrix re-posted: same cache key, zero new precomputes,
+	// same plan digest under a fresh revision ID.
+	if code, resp := post(t, ts.URL+"/v1/traffic", matrixText(t, g, d1)); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/traffic = %d: %s", code, resp)
+	}
+	rev2 := waitRevision(t, s, 2)
+	snap := reg.Snapshot()
+	if got := snap.Counters["cp.precomputes"]; got != pre0 {
+		t.Fatalf("identical key recomputed: precomputes %d -> %d", pre0, got)
+	}
+	if snap.Counters["cp.cache.hits"] != hits0+1 {
+		t.Fatalf("cache hits %d, want %d", snap.Counters["cp.cache.hits"], hits0+1)
+	}
+	rev1 := s.store.Revision(1)
+	if rev2.Digest != rev1.Digest || rev2.Key != rev1.Key {
+		t.Fatal("cache hit served a different plan for the same key")
+	}
+
+	// One entry perturbed by one unit: different fingerprint, guaranteed
+	// miss, exactly one more precompute.
+	d2 := perturb(t, d1, 1)
+	if code, resp := post(t, ts.URL+"/v1/traffic", matrixText(t, g, d2)); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/traffic = %d: %s", code, resp)
+	}
+	rev3 := waitRevision(t, s, 3)
+	if got := reg.Snapshot().Counters["cp.precomputes"]; got != pre0+1 {
+		t.Fatalf("perturbed matrix: precomputes %d, want %d", got, pre0+1)
+	}
+	if rev3.Digest == rev1.Digest {
+		t.Fatal("perturbed matrix produced an identical plan digest")
+	}
+}
+
+// TestServerCacheRetentionFloor: with CacheSize=1 the cache still holds
+// every key a retained revision references (rollback must not recompute),
+// and re-activating a retained key is a pure hit.
+func TestServerCacheRetentionFloor(t *testing.T) {
+	s, ts, reg := newTestServer(t, testFWConfig(), func(c *Config) {
+		c.CacheSize = 1
+		c.Retain = 8
+	})
+	g := testGraph()
+	d1 := testMatrix(g, 150, 1)
+
+	// Three distinct keys across three revisions.
+	d2 := perturb(t, d1, 1)
+	d3 := perturb(t, d2, 1)
+	if code, _ := post(t, ts.URL+"/v1/traffic", matrixText(t, g, d2)); code != http.StatusAccepted {
+		t.Fatal("post d2")
+	}
+	waitRevision(t, s, 2)
+	if code, _ := post(t, ts.URL+"/v1/traffic", matrixText(t, g, d3)); code != http.StatusAccepted {
+		t.Fatal("post d3")
+	}
+	waitRevision(t, s, 3)
+
+	// All three keys are pinned by retained revisions: the cache exceeds
+	// its 1-entry capacity.
+	if n := s.cache.Len(); n != 3 {
+		t.Fatalf("cache holds %d entries, want 3 (retention floor over CacheSize=1)", n)
+	}
+
+	// Re-posting revision 1's matrix is a hit: zero new precomputes.
+	pre := reg.Snapshot().Counters["cp.precomputes"]
+	if code, _ := post(t, ts.URL+"/v1/traffic", matrixText(t, g, d1)); code != http.StatusAccepted {
+		t.Fatal("re-post d1")
+	}
+	rev4 := waitRevision(t, s, 4)
+	if got := reg.Snapshot().Counters["cp.precomputes"]; got != pre {
+		t.Fatalf("retained key recomputed: precomputes %d -> %d", pre, got)
+	}
+	if rev4.Digest != s.store.Revision(1).Digest {
+		t.Fatal("re-activated retained key served different bytes")
+	}
+
+	// Rollback to a retained revision works without recomputation either.
+	if code, resp := post(t, ts.URL+"/v1/rollback?rev=2", nil); code != http.StatusOK {
+		t.Fatalf("rollback = %d: %s", code, resp)
+	}
+	if got := reg.Snapshot().Counters["cp.precomputes"]; got != pre {
+		t.Fatalf("rollback recomputed: precomputes %d -> %d", pre, got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package controlplane turns the R3 library into a long-lived planner
+// service: an HTTP API over a versioned, atomically swapped plan store,
+// a content-addressed plan cache, background re-precomputation on
+// topology/traffic updates, and admission control (per-client token
+// buckets plus a circuit breaker around precompute failures).
+//
+// The serving discipline follows the paper's architecture (§4.3, §5): a
+// central server precomputes (r, p) ahead of failures, distributes the
+// plan to routers, and keeps serving the previous plan until a new
+// revision is fully built — readers never see a partially constructed
+// plan, and any retained revision can be restored atomically.
+package controlplane
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// CacheKey identifies a precomputation output: the same topology, traffic
+// matrix content, and solver configuration always produce the same plan
+// bytes (the solvers are deterministic at every worker count), so the key
+// is a complete identity for the cached plan.
+type CacheKey struct {
+	// Topo is TopologyDigest of the graph.
+	Topo uint64
+	// Traffic is traffic.Matrix.Fingerprint of the demand matrix.
+	Traffic uint64
+	// Config is ConfigHash of the solver configuration.
+	Config uint64
+}
+
+// TopologyDigest returns an FNV-1a content hash of everything about a
+// graph that precomputation can observe: name, node names, link
+// endpoints/capacity/delay/weight/duplex pairing, and the registered
+// SRLG/MLG groups.
+func TopologyDigest(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		_, _ = h.Write([]byte(s))
+	}
+
+	str(g.Name)
+	u64(uint64(g.NumNodes()))
+	for n := 0; n < g.NumNodes(); n++ {
+		str(g.Node(graph.NodeID(n)))
+	}
+	u64(uint64(g.NumLinks()))
+	for _, l := range g.Links() {
+		u64(uint64(l.Src))
+		u64(uint64(l.Dst))
+		f64(l.Capacity)
+		f64(l.Delay)
+		f64(l.Weight)
+		u64(uint64(int64(l.Reverse)))
+	}
+	groups := func(gs [][]graph.LinkID) {
+		u64(uint64(len(gs)))
+		for _, grp := range gs {
+			u64(uint64(len(grp)))
+			for _, l := range grp {
+				u64(uint64(l))
+			}
+		}
+	}
+	groups(g.SRLGs())
+	groups(g.MLGs())
+	return h.Sum64()
+}
+
+// ConfigHash returns an FNV-1a hash of the plan-affecting fields of a
+// core.Config. Workers is excluded (plans are byte-identical at any
+// worker count), and so are Obs and LPWarmBasis (instrumentation never
+// perturbs plans; a warm basis changes pivot counts, not the optimum of
+// a re-solve of the same problem). A fixed BaseRouting is hashed only by
+// presence — the daemon never sets one, and hashing a full flow here
+// would duplicate the solvers' own identity.
+func ConfigHash(cfg core.Config) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(uint64(cfg.Solver))
+	u64(uint64(cfg.Iterations))
+	f64(cfg.PenaltyEnvelope)
+	f64(cfg.DelayEnvelope)
+	if cfg.BaseRouting != nil {
+		u64(1)
+	}
+	switch m := cfg.Model.(type) {
+	case nil:
+		u64(0)
+	case core.ArbitraryFailures:
+		u64(1)
+		u64(uint64(m.F))
+	case core.GroupFailures:
+		u64(2)
+		u64(uint64(m.K))
+		for _, gs := range [][][]graph.LinkID{m.SRLGs, m.MLGs} {
+			u64(uint64(len(gs)))
+			for _, grp := range gs {
+				u64(uint64(len(grp)))
+				for _, l := range grp {
+					u64(uint64(l))
+				}
+			}
+		}
+	default:
+		// Custom FailureModel implementations have no observable content
+		// to hash beyond MaxFailures, so two custom models could collide
+		// and wrongly share cache entries. The daemon only ever builds
+		// the two concrete models above; callers embedding the server
+		// with a custom model must key their own cache.
+		u64(3)
+		u64(uint64(m.MaxFailures()))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,137 @@
+package controlplane
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/transition"
+)
+
+// Revision is one immutable published plan. Everything here is built
+// before the revision becomes visible; after Swap publishes it, no field
+// is ever written again, so concurrent readers need no locking beyond the
+// atomic pointer load.
+type Revision struct {
+	// ID is the 1-based revision number, monotonically increasing.
+	ID int64
+	// Key is the cache identity the plan was computed under.
+	Key CacheKey
+	// Plan is the decoded plan (readers must not mutate it).
+	Plan *core.Plan
+	// Bytes is the canonical wire encoding served by GET /v1/plan.
+	Bytes []byte
+	// Digest is the FNV-1a hash of Bytes (Plan.WireFingerprint).
+	Digest uint64
+	// Rollout is the staged, LP-certified transition from the previously
+	// active revision to this one (nil for the first revision, or when
+	// the topology changed and a row-level delta is meaningless).
+	Rollout *transition.Sequence
+	// RollbackOf is the ID of the restored revision when this revision
+	// was created by POST /v1/rollback (0 otherwise).
+	RollbackOf int64
+	// Created is the wall-clock publication time.
+	Created time.Time
+}
+
+// Store holds the active revision behind an atomic copy-on-write pointer
+// plus a bounded log of retained revisions for rollback.
+//
+// Readers call Active and work with the immutable snapshot they got; a
+// concurrent Swap cannot tear it. Writers fully construct the next
+// Revision, then publish it with one pointer store.
+type Store struct {
+	active atomic.Pointer[Revision]
+
+	mu     sync.Mutex
+	revs   []*Revision // retained revisions, oldest first
+	retain int
+	nextID int64
+
+	swaps     *obs.Counter
+	rollbacks *obs.Counter
+	revGauge  *obs.Gauge
+}
+
+// NewStore builds a store retaining the last retain revisions (minimum
+// 2 — rollback needs at least the previous one). reg may be nil.
+func NewStore(retain int, reg *obs.Registry) *Store {
+	if retain < 2 {
+		retain = 2
+	}
+	return &Store{
+		retain:    retain,
+		nextID:    1,
+		swaps:     reg.Counter("cp.swaps"),
+		rollbacks: reg.Counter("cp.rollbacks"),
+		revGauge:  reg.Gauge("cp.active_revision"),
+	}
+}
+
+// Active returns the currently served revision (nil before the first
+// Swap). The snapshot is immutable.
+func (s *Store) Active() *Revision {
+	return s.active.Load()
+}
+
+// Swap publishes rev as the active revision: assigns its ID and creation
+// time, appends it to the retained log, evicts beyond the retention
+// floor, and atomically flips the active pointer. It returns the
+// published revision.
+func (s *Store) Swap(rev *Revision) *Revision {
+	s.mu.Lock()
+	rev.ID = s.nextID
+	s.nextID++
+	rev.Created = time.Now()
+	s.revs = append(s.revs, rev)
+	if n := len(s.revs) - s.retain; n > 0 {
+		s.revs = append([]*Revision(nil), s.revs[n:]...)
+	}
+	s.mu.Unlock()
+
+	// The publication point: after this store, every reader sees rev.
+	s.active.Store(rev)
+	s.swaps.Inc()
+	if rev.RollbackOf != 0 {
+		s.rollbacks.Inc()
+	}
+	s.revGauge.Set(rev.ID)
+	return rev
+}
+
+// Revision returns the retained revision with the given ID (nil if it
+// was evicted or never existed).
+func (s *Store) Revision(id int64) *Revision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.revs {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// Revisions returns a snapshot of the retained revision log, oldest
+// first.
+func (s *Store) Revisions() []*Revision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Revision(nil), s.revs...)
+}
+
+// Pinned reports whether key is referenced by any retained revision —
+// the cache's eviction floor: evicting these would make rollback
+// recompute.
+func (s *Store) Pinned(key CacheKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.revs {
+		if r.Key == key {
+			return true
+		}
+	}
+	return false
+}

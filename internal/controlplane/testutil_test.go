@@ -1,0 +1,160 @@
+package controlplane
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/traffic"
+)
+
+// testGraph builds the 5-node, 14-link ring-with-chords topology the
+// core tests use — small enough that FW and LP precomputes run in
+// milliseconds-to-seconds.
+func testGraph() *graph.Graph {
+	g := graph.New("ring5")
+	n := make([]graph.NodeID, 5)
+	for i, s := range []string{"a", "b", "c", "d", "e"} {
+		n[i] = g.AddNode(s)
+	}
+	for i := 0; i < 5; i++ {
+		g.AddDuplex(n[i], n[(i+1)%5], 100, 1, 1)
+	}
+	g.AddDuplex(n[0], n[2], 100, 1, 1)
+	g.AddDuplex(n[1], n[3], 100, 1, 1)
+	return g
+}
+
+func testMatrix(g *graph.Graph, total float64, seed int64) *traffic.Matrix {
+	return traffic.Gravity(g, total, seed)
+}
+
+// matrixText renders a matrix in the text format POST /v1/traffic
+// accepts.
+func matrixText(t testing.TB, g *graph.Graph, m *traffic.Matrix) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := traffic.FormatMatrix(&buf, m, g.Node); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testFWConfig is a fast deterministic FW solver configuration.
+func testFWConfig() core.Config {
+	return core.Config{Model: core.ArbitraryFailures{F: 1}, Solver: core.SolverFW, Iterations: 30}
+}
+
+// newTestServer boots a Server plus an httptest front end. mutate may
+// adjust the Config before New (nil for defaults).
+func newTestServer(t testing.TB, pc core.Config, mutate func(*Config)) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	g := testGraph()
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Graph:      g,
+		Traffic:    testMatrix(g, 150, 1),
+		Precompute: pc,
+		Obs:        reg,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, reg
+}
+
+// get performs a GET and returns status, body and headers.
+func get(t testing.TB, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// post performs a POST with the given body.
+func post(t testing.TB, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// waitRevision polls until the active revision reaches id (background
+// rebuilds are asynchronous).
+func waitRevision(t testing.TB, s *Server, id int64) *Revision {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if rev := s.Active(); rev != nil && rev.ID >= id {
+			if rev.ID > id {
+				t.Fatalf("active revision %d overshot expected %d", rev.ID, id)
+			}
+			return rev
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for revision %d (active %+v)", id, s.Active())
+	return nil
+}
+
+// directBytes precomputes a plan directly with the same inputs and
+// returns its wire bytes — the byte-identity reference for served plans.
+func directBytes(t testing.TB, g *graph.Graph, d *traffic.Matrix, pc core.Config) []byte {
+	t.Helper()
+	plan, err := core.Precompute(g, d, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plan.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// perturb clones m and adds delta to one nonzero entry (keeping the OD
+// support identical, so LP warm starts stay shape-compatible).
+func perturb(t testing.TB, m *traffic.Matrix, delta float64) *traffic.Matrix {
+	t.Helper()
+	out := m.Clone()
+	found := false
+	out.Pairs(func(a, b graph.NodeID, v float64) {
+		if !found && v > 0 {
+			out.Set(a, b, v+delta)
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("matrix has no nonzero entry to perturb")
+	}
+	return out
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"repro/internal/graph"
@@ -87,6 +89,32 @@ func (p *Plan) Encode(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&wp)
+}
+
+// EncodeBytes returns the plan's JSON wire format as a byte slice — the
+// exact bytes Encode would write. The control plane serves and caches
+// these bytes directly, so a plan is distributed byte-identically however
+// many times it is requested.
+func (p *Plan) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WireFingerprint returns an FNV-1a content hash of the plan's wire
+// encoding. Two plans share a fingerprint iff they serialize to the same
+// bytes, which is the identity the control plane's revision log and the
+// byte-identity tests care about.
+func (p *Plan) WireFingerprint() (uint64, error) {
+	b, err := p.EncodeBytes()
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64(), nil
 }
 
 // DecodePlan reads a plan from its wire format and binds it to g, which

@@ -18,6 +18,14 @@ import (
 // (pprof still works).
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
+	Attach(mux, reg)
+	return mux
+}
+
+// Attach registers the debug routes of Handler onto an existing mux, so a
+// server with its own API surface (e.g. the planner daemon) can expose
+// the same /debug endpoints on one listener.
+func Attach(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = reg.WriteJSON(w)
@@ -31,7 +39,6 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // StartDebugServer listens on addr and serves Handler(reg) until the

@@ -1,0 +1,96 @@
+package transition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/mplsff"
+	"repro/internal/routing"
+)
+
+// SchedulePlanSwap stages a transition between two arbitrary plans over
+// the same topology — a re-precomputed plan after a traffic-matrix shift,
+// or a rollback to a retained revision. Unlike Schedule, no links fail:
+// the whole change is routing state, so the decomposition is a single
+// versioned swap round carrying the row-level DiffPlans delta.
+//
+// The round still ships feasibility evidence:
+//
+//   - StateMLU is the end state's no-failure utilization.
+//   - EnvelopeMLU bounds the transient while routers apply the round
+//     asynchronously: with each commodity routed either the old or the
+//     new way, no link ever carries more than the elementwise max of the
+//     two base loads (the same bound execute() uses for its swap round).
+//   - LPMLU is the exact LP's optimal no-failure MLU for the new plan's
+//     demands — the Theorem-2 certificate that a feasible routing exists
+//     — warm-started via Options.Warm. Options.SkipCertify skips it
+//     (rollbacks want the swap immediately, not after an LP solve).
+//
+// An empty diff returns a zero-round sequence whose Final is simply the
+// next plan's network.
+func SchedulePlanSwap(old, next *core.Plan, opts Options) (*Sequence, error) {
+	opts.defaults()
+	if old.G.NumNodes() != next.G.NumNodes() || old.G.NumLinks() != next.G.NumLinks() {
+		return nil, fmt.Errorf("transition: plan swap across different topologies (%d/%d links vs %d/%d)",
+			old.G.NumNodes(), old.G.NumLinks(), next.G.NumNodes(), next.G.NumLinks())
+	}
+	tol := 1 + opts.Tol
+	reg := opts.Obs
+	span := reg.Trace("transition").Start("plan_swap")
+	defer span.End()
+
+	seq := &Sequence{CongestionFree: true, Final: mplsff.Build(next)}
+	seq.FinalMLU = routing.MLU(next.G, next.Base.Loads())
+	seq.TransientMLU = seq.FinalMLU
+	seq.Basis = opts.Warm
+
+	delta := DiffPlans(old, next)
+	if delta.Empty() {
+		span.SetFloat("rounds", 0)
+		return seq, nil
+	}
+
+	// Elementwise-max envelope: each commodity is routed the old way or
+	// the new way while the round propagates, never both, so per-link
+	// transient load is bounded by max(old load, new load).
+	envLoads := old.Base.Loads()
+	maxInto(envLoads, next.Base.Loads())
+	envMLU := routing.MLU(next.G, envLoads)
+
+	round := &Round{
+		Seq:         1,
+		Kind:        Swap,
+		Delta:       delta,
+		StateMLU:    seq.FinalMLU,
+		EnvelopeMLU: envMLU,
+		LPMLU:       math.NaN(),
+	}
+	if !opts.SkipCertify {
+		res, err := mcf.MinMLUExact(next.G, next.Base.Comms, mcf.Options{
+			Warm: opts.Warm,
+			Obs:  reg,
+		})
+		seq.LPSolves++
+		if err == nil {
+			round.LPMLU = res.MLU
+			seq.Basis = res.Basis
+		}
+	}
+	round.CongestionFree = round.StateMLU <= tol && round.EnvelopeMLU <= tol
+	seq.Rounds = []*Round{round}
+	seq.Swaps = 1
+	seq.TransientMLU = envMLU
+	seq.CongestionFree = round.CongestionFree
+
+	span.SetFloat("rounds", 1)
+	span.SetFloat("transient_mlu", seq.TransientMLU)
+	reg.Counter("transition.plan_swaps").Inc()
+	reg.Counter("transition.rounds").Inc()
+	reg.Counter("transition.lp_solves").Add(int64(seq.LPSolves))
+	if !seq.CongestionFree {
+		reg.Counter("transition.best_effort").Inc()
+	}
+	return seq, nil
+}
