@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos transition daemon
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos transition swap daemon
 
 all: build vet test
 
@@ -65,6 +65,15 @@ transition: vet
 	$(GO) test -race -count=1 -run 'TestDiff|TestApplyRound|TestApplyDelta|TestFailAll' ./internal/mplsff ./internal/core
 	$(GO) test -race -count=1 -run 'TestStaged|TestFailAtSilent' ./internal/netem
 	$(GO) test -race -count=1 -run 'TestTransitionSweep' ./internal/exp
+
+# swap runs the plan-swap scheduler suite under the race detector — the
+# crossing-commodities acceptance constructs, the 16-seed property
+# harness, staged delivery through the emulator, and the
+# staged-vs-one-shot swap sweep.
+swap: vet
+	$(GO) test -race -count=1 -run 'TestSchedulePlanSwap|TestSwapProperty|TestDiffPlans' ./internal/transition
+	$(GO) test -race -count=1 -run 'TestSwapStaged' ./internal/netem
+	$(GO) test -race -count=1 -run 'TestSwapSweep|TestPrintSwapSweep' ./internal/exp
 
 # daemon runs the control-plane suite under the race detector (lifecycle
 # byte-identity, concurrent reads across swaps, cache determinism,

@@ -30,6 +30,9 @@ func main() {
 		transitionF     = flag.Bool("transition", false, "compare staged (scheduler rounds over the staged-round flood) vs one-shot failure activation under chaos and exit")
 		transitionSeeds = flag.Int("transition-seeds", 32, "chaos seeds for -transition")
 
+		swapF     = flag.Bool("swap", false, "compare staged (per-commodity batched) vs one-shot plan swap under chaos and exit")
+		swapSeeds = flag.Int("swap-seeds", 32, "chaos seeds for -swap")
+
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
 		traceOut   = flag.String("trace-out", "", "write solver span traces to this JSON file at exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -58,6 +61,11 @@ func main() {
 	if *transitionF {
 		sum := exp.TransitionSweep(cfg, *transitionSeeds)
 		exp.PrintTransitionSweep(sum, os.Stdout)
+		return
+	}
+	if *swapF {
+		sum := exp.SwapSweep(cfg, *swapSeeds)
+		exp.PrintSwapSweep(sum, os.Stdout)
 		return
 	}
 	switch *fig {

@@ -23,15 +23,19 @@ type bucket struct {
 }
 
 // Limiter applies a token-bucket rate limit per client identity. The
-// zero rate means unlimited.
+// zero rate means unlimited. Buckets idle past refill-to-full time are
+// evicted on a periodic sweep, so the per-client map is bounded by the
+// number of clients active in any refill window rather than every
+// distinct client identity ever seen.
 type Limiter struct {
-	mu      sync.Mutex
-	buckets map[string]*bucket
-	rate    float64 // tokens per second
-	burst   float64
-	now     Clock
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	rate      float64 // tokens per second
+	burst     float64
+	now       Clock
+	lastSweep time.Time
 
-	allowed, limited *obs.Counter
+	allowed, limited, evicted *obs.Counter
 }
 
 // NewLimiter builds a per-client limiter refilling rate tokens/second
@@ -52,6 +56,38 @@ func NewLimiter(rate float64, burst int, clock Clock, reg *obs.Registry) *Limite
 		now:     clock,
 		allowed: reg.Counter("cp.admit.allowed"),
 		limited: reg.Counter("cp.admit.limited"),
+		evicted: reg.Counter("cp.admit.evicted"),
+	}
+}
+
+// ttl is the refill-to-full time: a bucket untouched this long holds
+// exactly burst tokens, indistinguishable from a fresh one, so dropping
+// it cannot loosen any client's limit.
+func (l *Limiter) ttl() time.Duration {
+	d := time.Duration(l.burst / l.rate * float64(time.Second))
+	if d <= 0 {
+		d = time.Second
+	}
+	return d
+}
+
+// maybeSweep evicts idle buckets at most once per ttl. Called with mu
+// held.
+func (l *Limiter) maybeSweep(now time.Time) {
+	ttl := l.ttl()
+	if l.lastSweep.IsZero() {
+		l.lastSweep = now
+		return
+	}
+	if now.Sub(l.lastSweep) < ttl {
+		return
+	}
+	l.lastSweep = now
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= ttl {
+			delete(l.buckets, k)
+			l.evicted.Inc()
+		}
 	}
 }
 
@@ -65,6 +101,7 @@ func (l *Limiter) Allow(client string) (bool, time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.now()
+	l.maybeSweep(now)
 	b, ok := l.buckets[client]
 	if !ok {
 		b = &bucket{tokens: l.burst, last: now}

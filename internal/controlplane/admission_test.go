@@ -86,6 +86,56 @@ func TestLimiter(t *testing.T) {
 }
 
 // TestLimiterUnlimited: rate 0 disables limiting entirely.
+// TestLimiterEvictsIdleBuckets: every distinct client identity used to
+// allocate a bucket forever. The sweep must drop buckets idle past
+// refill-to-full time (burst/rate), keeping the map bounded, without
+// loosening an active client's limit.
+func TestLimiterEvictsIdleBuckets(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1, 2, clk.Now, nil) // refill-to-full = 2s
+
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow(string(rune('a'+i%26)) + string(rune('0'+i/26))); !ok {
+			t.Fatalf("fresh client %d denied", i)
+		}
+	}
+	// One client stays active across the sweep window.
+	if ok, _ := l.Allow("keep"); !ok {
+		t.Fatal("active client denied")
+	}
+	if got := len(l.buckets); got != 101 {
+		t.Fatalf("expected 101 buckets before the sweep, got %d", got)
+	}
+
+	clk.Advance(1900 * time.Millisecond)
+	if ok, _ := l.Allow("keep"); !ok {
+		t.Fatal("active client denied mid-window")
+	}
+	// 2s past the last sweep: the next request triggers eviction of the
+	// 100 idle buckets; "keep" (refreshed 100ms ago) survives.
+	clk.Advance(100 * time.Millisecond)
+	if ok, _ := l.Allow("trigger"); !ok {
+		t.Fatal("sweep-triggering client denied")
+	}
+	if got := len(l.buckets); got != 2 {
+		t.Fatalf("expected only the active and triggering buckets after the sweep, got %d", got)
+	}
+	if _, ok := l.buckets["keep"]; !ok {
+		t.Fatal("recently active bucket was evicted")
+	}
+
+	// An evicted client reappearing is simply a fresh, full bucket: no
+	// limit was loosened by the eviction.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a0"); !ok {
+			t.Fatalf("returning client burst request %d denied", i)
+		}
+	}
+	if ok, _ := l.Allow("a0"); ok {
+		t.Fatal("returning client exceeded burst")
+	}
+}
+
 func TestLimiterUnlimited(t *testing.T) {
 	l := NewLimiter(0, 1, nil, nil)
 	for i := 0; i < 1000; i++ {

@@ -25,7 +25,7 @@ import (
 // bytes (the solvers are deterministic at every worker count), so the key
 // is a complete identity for the cached plan.
 type CacheKey struct {
-	// Topo is TopologyDigest of the graph.
+	// Topo is TopologyDigest (= graph.Digest) of the graph.
 	Topo uint64
 	// Traffic is traffic.Matrix.Fingerprint of the demand matrix.
 	Traffic uint64
@@ -33,50 +33,12 @@ type CacheKey struct {
 	Config uint64
 }
 
-// TopologyDigest returns an FNV-1a content hash of everything about a
-// graph that precomputation can observe: name, node names, link
-// endpoints/capacity/delay/weight/duplex pairing, and the registered
-// SRLG/MLG groups.
-func TopologyDigest(g *graph.Graph) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	u64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		_, _ = h.Write(buf[:])
-	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	str := func(s string) {
-		u64(uint64(len(s)))
-		_, _ = h.Write([]byte(s))
-	}
-
-	str(g.Name)
-	u64(uint64(g.NumNodes()))
-	for n := 0; n < g.NumNodes(); n++ {
-		str(g.Node(graph.NodeID(n)))
-	}
-	u64(uint64(g.NumLinks()))
-	for _, l := range g.Links() {
-		u64(uint64(l.Src))
-		u64(uint64(l.Dst))
-		f64(l.Capacity)
-		f64(l.Delay)
-		f64(l.Weight)
-		u64(uint64(int64(l.Reverse)))
-	}
-	groups := func(gs [][]graph.LinkID) {
-		u64(uint64(len(gs)))
-		for _, grp := range gs {
-			u64(uint64(len(grp)))
-			for _, l := range grp {
-				u64(uint64(l))
-			}
-		}
-	}
-	groups(g.SRLGs())
-	groups(g.MLGs())
-	return h.Sum64()
-}
+// TopologyDigest returns graph.Digest(g): the content hash of everything
+// about a graph that precomputation can observe. Kept as an alias so
+// controlplane callers read naturally; the implementation lives in the
+// graph package so lower layers (e.g. the transition scheduler's
+// cross-plan guard) can share it without importing controlplane.
+func TopologyDigest(g *graph.Graph) uint64 { return graph.Digest(g) }
 
 // ConfigHash returns an FNV-1a hash of the plan-affecting fields of a
 // core.Config. Workers is excluded (plans are byte-identical at any

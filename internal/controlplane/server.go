@@ -426,14 +426,18 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 }
 
 type roundSummary struct {
-	Seq            int            `json:"seq"`
-	Kind           string         `json:"kind"`
-	Links          []graph.LinkID `json:"links,omitempty"`
-	StateMLU       float64        `json:"state_mlu"`
-	EnvelopeMLU    float64        `json:"envelope_mlu"`
-	LPMLU          *float64       `json:"lp_mlu,omitempty"`
-	Fallback       bool           `json:"fallback,omitempty"`
-	CongestionFree bool           `json:"congestion_free"`
+	Seq   int            `json:"seq"`
+	Kind  string         `json:"kind"`
+	Links []graph.LinkID `json:"links,omitempty"`
+	// ODs counts the commodities migrated by a plan-swap round (0 for
+	// failure-activation rounds).
+	ODs            int      `json:"ods,omitempty"`
+	StateMLU       float64  `json:"state_mlu"`
+	EnvelopeMLU    float64  `json:"envelope_mlu"`
+	LPMLU          *float64 `json:"lp_mlu,omitempty"`
+	CertifyError   string   `json:"certify_error,omitempty"`
+	Fallback       bool     `json:"fallback,omitempty"`
+	CongestionFree bool     `json:"congestion_free"`
 }
 
 type rolloutView struct {
@@ -458,6 +462,7 @@ func rolloutSummary(seq *transition.Sequence) *rolloutView {
 			Seq:            rd.Seq,
 			Kind:           rd.Kind.String(),
 			Links:          rd.Links,
+			ODs:            len(rd.ODs),
 			StateMLU:       rd.StateMLU,
 			EnvelopeMLU:    rd.EnvelopeMLU,
 			Fallback:       rd.Fallback,
@@ -466,6 +471,9 @@ func rolloutSummary(seq *transition.Sequence) *rolloutView {
 		if !isNaN(rd.LPMLU) {
 			lp := rd.LPMLU
 			rs.LPMLU = &lp
+		}
+		if rd.CertifyErr != nil {
+			rs.CertifyError = rd.CertifyErr.Error()
 		}
 		v.Rounds = append(v.Rounds, rs)
 	}

@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Digest returns an FNV-1a content hash of everything about a graph that
+// precomputation can observe: name, node names, link
+// endpoints/capacity/delay/weight/duplex pairing, and the registered
+// SRLG/MLG groups. Two graphs with equal digests are interchangeable as
+// far as plans, states, and row-level deltas are concerned; the
+// controlplane cache and the transition scheduler's cross-plan guard both
+// key on it.
+func Digest(g *Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		_, _ = h.Write([]byte(s))
+	}
+
+	str(g.Name)
+	u64(uint64(g.NumNodes()))
+	for n := 0; n < g.NumNodes(); n++ {
+		str(g.Node(NodeID(n)))
+	}
+	u64(uint64(g.NumLinks()))
+	for _, l := range g.Links() {
+		u64(uint64(l.Src))
+		u64(uint64(l.Dst))
+		f64(l.Capacity)
+		f64(l.Delay)
+		f64(l.Weight)
+		u64(uint64(int64(l.Reverse)))
+	}
+	groups := func(gs [][]LinkID) {
+		u64(uint64(len(gs)))
+		for _, grp := range gs {
+			u64(uint64(len(grp)))
+			for _, l := range grp {
+				u64(uint64(l))
+			}
+		}
+	}
+	groups(g.SRLGs())
+	groups(g.MLGs())
+	return h.Sum64()
+}

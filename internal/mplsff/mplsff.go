@@ -195,6 +195,55 @@ func Build(plan *core.Plan) *Network {
 // State exposes the underlying R3 online state (read-only use).
 func (n *Network) State() *core.State { return n.state }
 
+// Clone deep-copies the network: tables, label allocation, failure
+// knowledge, bookkeeping state, and round version. Buffered out-of-order
+// rounds are not carried over. The transition scheduler clones a
+// reference network per migration batch so intermediate mixed
+// configurations never alias each other.
+func (n *Network) Clone() *Network {
+	cp := &Network{
+		G:         n.G,
+		LabelOf:   make(map[graph.LinkID]Label, len(n.LabelOf)),
+		state:     n.state.Clone(),
+		failed:    n.failed.Clone(),
+		nextRound: n.nextRound,
+	}
+	for k, v := range n.LabelOf {
+		cp.LabelOf[k] = v
+	}
+	cp.Routers = make([]*Router, len(n.Routers))
+	for i, r := range n.Routers {
+		nr := &Router{
+			Node: r.Node,
+			salt: r.salt,
+			ILM:  make(map[Label]*FWD, len(r.ILM)),
+			FIB:  make(map[[2]graph.NodeID][]NHLFE, len(r.FIB)),
+		}
+		for k, v := range r.ILM {
+			nr.ILM[k] = cloneFWD(v)
+		}
+		for k, v := range r.FIB {
+			nr.FIB[k] = cloneNHLFEs(v)
+		}
+		cp.Routers[i] = nr
+	}
+	return cp
+}
+
+// SetFIBRow replaces router u's base-FIB row for one OD pair, deep-copying
+// the entries; a nil row deletes (matching Build, which only installs rows
+// with at least one entry). The transition scheduler uses this to
+// materialize mixed old/new intermediate configurations one commodity at
+// a time.
+func (n *Network) SetFIBRow(u graph.NodeID, od [2]graph.NodeID, entries []NHLFE) {
+	r := n.Routers[u]
+	if entries == nil {
+		delete(r.FIB, od)
+		return
+	}
+	r.FIB[od] = cloneNHLFEs(entries)
+}
+
 // Failed returns the failure set this view knows about (via OnFailure or
 // staged deltas).
 func (n *Network) Failed() graph.LinkSet { return n.failed.Clone() }

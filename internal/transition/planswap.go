@@ -3,8 +3,11 @@ package transition
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
 	"repro/internal/mcf"
 	"repro/internal/mplsff"
 	"repro/internal/routing"
@@ -13,84 +16,678 @@ import (
 // SchedulePlanSwap stages a transition between two arbitrary plans over
 // the same topology — a re-precomputed plan after a traffic-matrix shift,
 // or a rollback to a retained revision. Unlike Schedule, no links fail:
-// the whole change is routing state, so the decomposition is a single
-// versioned swap round carrying the row-level DiffPlans delta.
+// the whole change is routing state, and the migration unit is the OD
+// commodity, since routers apply a round asynchronously and a commodity
+// is routed either entirely the old way or entirely the new way at each
+// instant. The sound transient bound is therefore per-link
 //
-// The round still ships feasibility evidence:
+//	env(e) = static(e) + Σ_k max(old_k(e), new_k(e))
 //
-//   - StateMLU is the end state's no-failure utilization.
-//   - EnvelopeMLU bounds the transient while routers apply the round
-//     asynchronously: with each commodity routed either the old or the
-//     new way, no link ever carries more than the elementwise max of the
-//     two base loads (the same bound execute() uses for its swap round).
-//   - LPMLU is the exact LP's optimal no-failure MLU for the new plan's
-//     demands — the Theorem-2 certificate that a feasible routing exists
-//     — warm-started via Options.Warm. Options.SkipCertify skips it
-//     (rollbacks want the swap immediately, not after an LP solve).
+// over the commodities k in flight — which can exceed capacity even when
+// both endpoint plans are congestion-free (two commodities trading
+// places on a pair of links each push their max onto both). The
+// scheduler decomposes the row-level delta into per-commodity migration
+// batches so that every round's mixed old/new envelope is ≤ 1+Tol:
+//
+//   - If the whole-delta envelope already fits, one swap round ships the
+//     full diff (the common case for small shifts).
+//   - Otherwise, for ≤ MaxExactGroups changed commodities, the exact
+//     minimal-k BFS over the subset lattice (the same machinery Schedule
+//     uses for failure groups) finds the fewest rounds whose every
+//     envelope fits; larger instances use a greedy batcher that packs
+//     each round with the commodities minimizing the post-round MLU.
+//   - When no pure old→new ordering is feasible, the exact LP computes a
+//     warm-started interim routing for the in-flight commodities
+//     (changed ODs as LP commodities, unchanged ODs as fixed
+//     background); commodities migrate old→interim→new in envelope-
+//     checked batches. Only when that LP itself certifies infeasibility
+//     (or fails) does the scheduler fall back to a single best-effort
+//     round for the remainder, marked CongestionFree=false.
+//
+// Every round carries feasibility evidence: StateMLU (post-round mixed
+// state), EnvelopeMLU (the asynchronous bound above), and LPMLU — the
+// exact LP's optimal MLU for the round's post-state demand mix, the
+// Theorem-2 certificate that the mix is routable at all. Certificates
+// are warm-started via Options.Warm and chained across rounds; a solver
+// failure is recorded on Round.CertifyErr and counted in
+// transition.certify_errors rather than silently shipping NaN.
+// Options.SkipCertify (rollbacks) skips per-round certificates but still
+// decomposes, and the interim-routing fallback still uses the LP.
 //
 // An empty diff returns a zero-round sequence whose Final is simply the
-// next plan's network.
+// next plan's network. Applying rounds 1..k to mplsff.Build(old) — in
+// order, or through any duplicated/reordered staged delivery — lands
+// byte-identically on mplsff.Build(next).
 func SchedulePlanSwap(old, next *core.Plan, opts Options) (*Sequence, error) {
 	opts.defaults()
-	if old.G.NumNodes() != next.G.NumNodes() || old.G.NumLinks() != next.G.NumLinks() {
-		return nil, fmt.Errorf("transition: plan swap across different topologies (%d/%d links vs %d/%d)",
-			old.G.NumNodes(), old.G.NumLinks(), next.G.NumNodes(), next.G.NumLinks())
+	if od, nd := graph.Digest(old.G), graph.Digest(next.G); od != nd {
+		return nil, fmt.Errorf("transition: plan swap across different topologies (digest %016x vs %016x)", od, nd)
 	}
 	tol := 1 + opts.Tol
 	reg := opts.Obs
 	span := reg.Trace("transition").Start("plan_swap")
 	defer span.End()
 
-	seq := &Sequence{CongestionFree: true, Final: mplsff.Build(next)}
+	startNet := mplsff.Build(old)
+	targetNet := mplsff.Build(next)
+	seq := &Sequence{CongestionFree: true, Final: targetNet}
 	seq.FinalMLU = routing.MLU(next.G, next.Base.Loads())
 	seq.TransientMLU = seq.FinalMLU
 	seq.Basis = opts.Warm
 
-	delta := DiffPlans(old, next)
-	if delta.Empty() {
+	if mplsff.Diff(startNet, targetNet).Empty() {
 		span.SetFloat("rounds", 0)
 		return seq, nil
 	}
 
-	// Elementwise-max envelope: each commodity is routed the old way or
-	// the new way while the round propagates, never both, so per-link
-	// transient load is bounded by max(old load, new load).
-	envLoads := old.Base.Loads()
-	maxInto(envLoads, next.Base.Loads())
-	envMLU := routing.MLU(next.G, envLoads)
+	sw := newSwapper(old, next, opts)
+	batches := sw.plan()
 
-	round := &Round{
-		Seq:         1,
-		Kind:        Swap,
-		Delta:       delta,
-		StateMLU:    seq.FinalMLU,
-		EnvelopeMLU: envMLU,
-		LPMLU:       math.NaN(),
-	}
-	if !opts.SkipCertify {
-		res, err := mcf.MinMLUExact(next.G, next.Base.Comms, mcf.Options{
-			Warm: opts.Warm,
-			Obs:  reg,
-		})
-		seq.LPSolves++
-		if err == nil {
-			round.LPMLU = res.MLU
-			seq.Basis = res.Basis
+	prev := startNet
+	for bi := range batches {
+		b := &batches[bi]
+		var cu *mplsff.Network
+		if b.done && !b.interim {
+			// The last old→new batch lands on the target network itself,
+			// sweeping along the ILM (protection) changes and any rows the
+			// per-OD walk cannot express — staged and one-shot activation
+			// end bit-identical.
+			cu = targetNet
+		} else {
+			cu = prev.Clone()
+			for _, i := range b.idx {
+				if b.interim {
+					sw.programInterim(cu, i)
+				} else {
+					copyODRows(cu, targetNet, sw.groups[i].od)
+				}
+			}
 		}
+		round := &Round{
+			Seq:         bi + 1,
+			Kind:        Swap,
+			Delta:       mplsff.Diff(prev, cu),
+			ODs:         sw.odsOf(b.idx),
+			StateMLU:    b.stateMLU,
+			EnvelopeMLU: b.envMLU,
+			LPMLU:       math.NaN(),
+			Fallback:    b.interim,
+		}
+		if !opts.SkipCertify {
+			round.LPMLU, round.CertifyErr = sw.certifyRound(b.certDemands)
+			if round.CertifyErr != nil {
+				seq.CertifyErrs++
+			}
+		}
+		round.CongestionFree = round.StateMLU <= tol && round.EnvelopeMLU <= tol
+		seq.Rounds = append(seq.Rounds, round)
+		if b.interim {
+			seq.Fallbacks++
+		} else {
+			seq.Swaps++
+		}
+		if round.EnvelopeMLU > seq.TransientMLU {
+			seq.TransientMLU = round.EnvelopeMLU
+		}
+		if !round.CongestionFree {
+			seq.CongestionFree = false
+		}
+		prev = cu
 	}
-	round.CongestionFree = round.StateMLU <= tol && round.EnvelopeMLU <= tol
-	seq.Rounds = []*Round{round}
-	seq.Swaps = 1
-	seq.TransientMLU = envMLU
-	seq.CongestionFree = round.CongestionFree
+	seq.Final = prev
+	seq.LPSolves = sw.lpSolves
+	if sw.certBasis != nil {
+		seq.Basis = sw.certBasis
+	}
 
-	span.SetFloat("rounds", 1)
+	span.SetFloat("rounds", float64(len(seq.Rounds)))
+	span.SetFloat("groups", float64(len(sw.groups)))
 	span.SetFloat("transient_mlu", seq.TransientMLU)
 	reg.Counter("transition.plan_swaps").Inc()
-	reg.Counter("transition.rounds").Inc()
+	reg.Counter("transition.rounds").Add(int64(len(seq.Rounds)))
 	reg.Counter("transition.lp_solves").Add(int64(seq.LPSolves))
+	reg.Counter("transition.fallbacks").Add(int64(seq.Fallbacks))
 	if !seq.CongestionFree {
-		reg.Counter("transition.best_effort").Inc()
+		if sw.feasSolved && sw.feasErr == nil && sw.feasMLU > tol {
+			// The exact LP itself certified the in-flight demand mix
+			// unroutable: genuinely best-effort.
+			reg.Counter("transition.best_effort").Inc()
+		} else {
+			// The LP found (or was never asked for) a feasible routing but
+			// the scheduler could not reach it in envelope-safe batches.
+			reg.Counter("transition.swap_stuck").Inc()
+		}
 	}
 	return seq, nil
+}
+
+// swapGroup is one OD pair whose base routing differs between the two
+// plans — the unit of migration. oldVec/newVec are the demand-weighted
+// per-link load vectors of the commodity under each plan (all-zero where
+// the OD is absent).
+type swapGroup struct {
+	od             [2]graph.NodeID
+	oldVec, newVec []float64
+	dOld, dNew     float64
+	// demand is max(dOld, dNew): what the OD may offer mid-migration.
+	demand float64
+}
+
+// swapBatch is one planned migration round.
+type swapBatch struct {
+	idx      []int // group indices migrating this round
+	interim  bool  // migrate to the LP interim routing, not the final one
+	forced   bool  // best-effort remainder; envelope exceeds tolerance
+	done     bool  // after this batch every group is at its final routing
+	envMLU   float64
+	stateMLU float64
+	// certDemands is the post-round demand per group (old, max, or new
+	// depending on migration position) for the round's LP certificate.
+	certDemands []float64
+}
+
+const (
+	posOld = iota
+	posInterim
+	posNew
+)
+
+// swapper carries the per-SchedulePlanSwap migration state.
+type swapper struct {
+	g    *graph.Graph
+	opts Options
+	tol  float64
+
+	groups []swapGroup
+	// static is the fixed background: commodities routed identically in
+	// both plans, at the elementwise max of their two demand-weighted
+	// loads.
+	static []float64
+	caps   []float64
+
+	cur   [][]float64 // current load vector per group
+	pos   []int
+	loads []float64 // static + Σ cur
+
+	// comms is the changed-OD commodity set shared by every LP in this
+	// swap (certificates and the interim feasibility solve); only the
+	// demands vary, so the LP shape is constant and bases chain warm.
+	comms     []routing.Commodity
+	certBasis *lp.Basis
+	lpSolves  int
+
+	// Interim feasibility LP (solved at most once, on the first stuck
+	// round): can the full in-flight demand mix be routed at all?
+	feasSolved bool
+	feasFlow   *routing.Flow
+	feasMLU    float64
+	feasErr    error
+	interims   [][]float64
+
+	envMemo map[uint64]float64
+}
+
+func newSwapper(old, next *core.Plan, opts Options) *swapper {
+	g := old.G
+	E := g.NumLinks()
+	sw := &swapper{
+		g:         g,
+		opts:      opts,
+		tol:       1 + opts.Tol,
+		static:    make([]float64, E),
+		caps:      make([]float64, E),
+		certBasis: opts.Warm,
+	}
+	for e := 0; e < E; e++ {
+		sw.caps[e] = g.Link(graph.LinkID(e)).Capacity
+	}
+
+	oldIdx := make(map[[2]graph.NodeID]int, len(old.Base.Comms))
+	for k, c := range old.Base.Comms {
+		oldIdx[[2]graph.NodeID{c.Src, c.Dst}] = k
+	}
+	newIdx := make(map[[2]graph.NodeID]int, len(next.Base.Comms))
+	for k, c := range next.Base.Comms {
+		newIdx[[2]graph.NodeID{c.Src, c.Dst}] = k
+	}
+	var keys [][2]graph.NodeID
+	seen := make(map[[2]graph.NodeID]bool)
+	for _, comms := range [][]routing.Commodity{old.Base.Comms, next.Base.Comms} {
+		for _, c := range comms {
+			od := [2]graph.NodeID{c.Src, c.Dst}
+			if !seen[od] {
+				seen[od] = true
+				keys = append(keys, od)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	for _, od := range keys {
+		var dOld, dNew float64
+		var frOld, frNew []float64
+		if k, ok := oldIdx[od]; ok {
+			dOld, frOld = old.Base.Comms[k].Demand, old.Base.Frac[k]
+		}
+		if k, ok := newIdx[od]; ok {
+			dNew, frNew = next.Base.Comms[k].Demand, next.Base.Frac[k]
+		}
+		oldVec := scaleVec(dOld, frOld, E)
+		newVec := scaleVec(dNew, frNew, E)
+		if frOld != nil && frNew != nil && equalVec(frOld, frNew) {
+			// Identical rows in both plans: the delta never touches this
+			// OD, so it rides as background at the worse of its two loads
+			// (only the demand may have shifted).
+			for e := range sw.static {
+				if newVec[e] > oldVec[e] {
+					sw.static[e] += newVec[e]
+				} else {
+					sw.static[e] += oldVec[e]
+				}
+			}
+			continue
+		}
+		d := dOld
+		if dNew > d {
+			d = dNew
+		}
+		sw.groups = append(sw.groups, swapGroup{
+			od: od, oldVec: oldVec, newVec: newVec,
+			dOld: dOld, dNew: dNew, demand: d,
+		})
+		sw.comms = append(sw.comms, routing.Commodity{Src: od[0], Dst: od[1], Demand: d, Link: -1})
+	}
+
+	n := len(sw.groups)
+	sw.cur = make([][]float64, n)
+	sw.pos = make([]int, n)
+	sw.loads = append([]float64(nil), sw.static...)
+	for i := range sw.groups {
+		sw.cur[i] = sw.groups[i].oldVec
+		for e, v := range sw.cur[i] {
+			sw.loads[e] += v
+		}
+	}
+	return sw
+}
+
+func scaleVec(d float64, fr []float64, E int) []float64 {
+	v := make([]float64, E)
+	if fr == nil || d == 0 {
+		return v
+	}
+	for e := range v {
+		v[e] = d * fr[e]
+	}
+	return v
+}
+
+func equalVec(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (sw *swapper) odsOf(idx []int) [][2]graph.NodeID {
+	ods := make([][2]graph.NodeID, len(idx))
+	for j, i := range idx {
+		ods[j] = sw.groups[i].od
+	}
+	return ods
+}
+
+func (sw *swapper) mlu(loads []float64) float64 {
+	worst := 0.0
+	for e, l := range loads {
+		if u := l / sw.caps[e]; u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// target is the load vector group i migrates to this round.
+func (sw *swapper) target(i int, interim bool) []float64 {
+	if interim {
+		return sw.interimVec(i)
+	}
+	return sw.groups[i].newVec
+}
+
+// plan decides the migration batches. It mutates the swapper's
+// cur/pos/loads as it goes, so the recorded per-batch MLUs reflect the
+// walked intermediate states.
+func (sw *swapper) plan() []swapBatch {
+	n := len(sw.groups)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if n == 0 {
+		// ILM-only change (protection routing differs, base identical):
+		// a single swap round carrying the full diff.
+		return []swapBatch{sw.applyBatch(nil, false)}
+	}
+
+	// Whole-delta single round when the true asynchronous envelope fits.
+	env := append([]float64(nil), sw.static...)
+	for _, grp := range sw.groups {
+		for e := range env {
+			if grp.newVec[e] > grp.oldVec[e] {
+				env[e] += grp.newVec[e]
+			} else {
+				env[e] += grp.oldVec[e]
+			}
+		}
+	}
+	if sw.mlu(env) <= sw.tol {
+		return []swapBatch{sw.applyBatch(all, false)}
+	}
+
+	// Exact minimal-k search over the subset lattice for small instances.
+	if n <= sw.opts.MaxExactGroups {
+		if masks := minKPath(n, sw.tol, sw.maskEnvelope); masks != nil {
+			batches := make([]swapBatch, 0, len(masks))
+			for _, m := range masks {
+				var idx []int
+				for i := 0; i < n; i++ {
+					if m&(1<<i) != 0 {
+						idx = append(idx, i)
+					}
+				}
+				batches = append(batches, sw.applyBatch(idx, false))
+			}
+			return batches
+		}
+	}
+	return sw.greedy()
+}
+
+// greedy packs envelope-safe batches toward the final routing,
+// falling back to LP interim-routing rounds when stuck, and to a single
+// forced best-effort round when even the LP cannot help.
+func (sw *swapper) greedy() []swapBatch {
+	var batches []swapBatch
+	for {
+		var remaining []int
+		for i, p := range sw.pos {
+			if p != posNew {
+				remaining = append(remaining, i)
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		if idx := sw.pickBatch(remaining, false); len(idx) > 0 {
+			batches = append(batches, sw.applyBatch(idx, false))
+			continue
+		}
+		// Stuck: no commodity can migrate to its final routing within the
+		// envelope. Ask the exact LP whether the in-flight demand mix is
+		// routable at all; its routing becomes the interim target.
+		sw.ensureFeasibility()
+		if sw.feasErr != nil || sw.feasMLU > sw.tol {
+			batches = append(batches, sw.forceBatch(remaining))
+			break
+		}
+		idx := sw.pickBatch(remaining, true)
+		if len(idx) == 0 {
+			// The LP certifies a feasible routing exists, but no
+			// envelope-safe batch reaches it either: give up cleanly
+			// (counted as swap_stuck, not best_effort).
+			batches = append(batches, sw.forceBatch(remaining))
+			break
+		}
+		batches = append(batches, sw.applyBatch(idx, true))
+	}
+	return batches
+}
+
+// pickBatch grows a batch of groups migrating to their target (final or
+// interim) such that the batch's asynchronous envelope stays within
+// tolerance, greedily adding the group whose migration yields the lowest
+// post-batch MLU. Returns nil when no candidate fits.
+func (sw *swapper) pickBatch(cands []int, interim bool) []int {
+	base := append([]float64(nil), sw.loads...) // envelope with chosen max-contributions
+	post := append([]float64(nil), sw.loads...) // post-migration loads
+	var batch []int
+	inBatch := make(map[int]bool)
+	for {
+		best, bestMLU := -1, math.Inf(1)
+		for _, i := range cands {
+			if inBatch[i] || (interim && sw.pos[i] == posInterim) {
+				continue
+			}
+			tgt := sw.target(i, interim)
+			feasible := true
+			for e, c := range sw.cur[i] {
+				l := base[e]
+				if t := tgt[e]; t > c {
+					l += t - c
+				}
+				if l/sw.caps[e] > sw.tol {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			pm := 0.0
+			for e, c := range sw.cur[i] {
+				if u := (post[e] + tgt[e] - c) / sw.caps[e]; u > pm {
+					pm = u
+				}
+			}
+			if best < 0 || pm < bestMLU-1e-12 {
+				best, bestMLU = i, pm
+			}
+		}
+		if best < 0 {
+			return batch
+		}
+		inBatch[best] = true
+		batch = append(batch, best)
+		tgt := sw.target(best, interim)
+		for e, c := range sw.cur[best] {
+			if t := tgt[e]; t > c {
+				base[e] += t - c
+			}
+			post[e] += tgt[e] - c
+		}
+	}
+}
+
+// applyBatch commits a batch: records its envelope (load with each
+// migrating commodity at the max of its current and target vectors) and
+// post-state MLU, then advances cur/pos/loads.
+func (sw *swapper) applyBatch(idx []int, interim bool) swapBatch {
+	b := swapBatch{idx: idx, interim: interim}
+	env := append([]float64(nil), sw.loads...)
+	for _, i := range idx {
+		tgt := sw.target(i, interim)
+		for e, c := range sw.cur[i] {
+			if t := tgt[e]; t > c {
+				env[e] += t - c
+			}
+		}
+	}
+	b.envMLU = sw.mlu(env)
+	for _, i := range idx {
+		tgt := sw.target(i, interim)
+		for e, c := range sw.cur[i] {
+			sw.loads[e] += tgt[e] - c
+		}
+		sw.cur[i] = tgt
+		if interim {
+			sw.pos[i] = posInterim
+		} else {
+			sw.pos[i] = posNew
+		}
+	}
+	b.stateMLU = sw.mlu(sw.loads)
+	b.certDemands = make([]float64, len(sw.groups))
+	b.done = true
+	for i, p := range sw.pos {
+		switch p {
+		case posNew:
+			b.certDemands[i] = sw.groups[i].dNew
+		case posInterim:
+			b.certDemands[i] = sw.groups[i].demand
+			b.done = false
+		default:
+			b.certDemands[i] = sw.groups[i].dOld
+			b.done = false
+		}
+	}
+	return b
+}
+
+// forceBatch moves every remaining group to its final routing in one
+// best-effort round; the recorded envelope is honest (and over
+// tolerance, or the batch would have been pickable).
+func (sw *swapper) forceBatch(idx []int) swapBatch {
+	b := sw.applyBatch(idx, false)
+	b.forced = true
+	return b
+}
+
+// maskEnvelope is the lattice-search envelope: groups in cum at their
+// new vector, groups in add at the elementwise max of old and new, the
+// rest at old, plus the static background. Memoized; only used for
+// n ≤ MaxExactGroups, before any batch has been applied.
+func (sw *swapper) maskEnvelope(cum, add uint64) float64 {
+	key := cum<<uint(len(sw.groups)) | add
+	if m, ok := sw.envMemo[key]; ok {
+		return m
+	}
+	env := append([]float64(nil), sw.static...)
+	for i := range sw.groups {
+		grp := &sw.groups[i]
+		bit := uint64(1) << i
+		switch {
+		case add&bit != 0:
+			for e := range env {
+				if grp.newVec[e] > grp.oldVec[e] {
+					env[e] += grp.newVec[e]
+				} else {
+					env[e] += grp.oldVec[e]
+				}
+			}
+		case cum&bit != 0:
+			for e := range env {
+				env[e] += grp.newVec[e]
+			}
+		default:
+			for e := range env {
+				env[e] += grp.oldVec[e]
+			}
+		}
+	}
+	m := sw.mlu(env)
+	if sw.envMemo == nil {
+		sw.envMemo = make(map[uint64]float64)
+	}
+	sw.envMemo[key] = m
+	return m
+}
+
+// ensureFeasibility solves (once) the interim feasibility LP: route
+// every changed OD at its worst-case migration demand over the static
+// background. Its optimal MLU is the certificate deciding best-effort vs
+// stuck, and its flow supplies the interim routing targets.
+func (sw *swapper) ensureFeasibility() {
+	if sw.feasSolved {
+		return
+	}
+	sw.feasSolved = true
+	for i := range sw.comms {
+		sw.comms[i].Demand = sw.groups[i].demand
+	}
+	res, err := solveExact(sw.g, sw.comms, mcf.Options{
+		Background: sw.static,
+		Warm:       sw.certBasis,
+		Obs:        sw.opts.Obs,
+	})
+	sw.lpSolves++
+	if err != nil {
+		sw.feasErr = err
+		return
+	}
+	res.Flow.RemoveLoops()
+	sw.feasFlow = res.Flow
+	sw.feasMLU = res.MLU
+	sw.certBasis = res.Basis
+}
+
+// interimVec is group i's demand-weighted load vector on the LP interim
+// routing (at its worst-case migration demand).
+func (sw *swapper) interimVec(i int) []float64 {
+	if sw.interims == nil {
+		sw.interims = make([][]float64, len(sw.groups))
+	}
+	if v := sw.interims[i]; v != nil {
+		return v
+	}
+	v := scaleVec(sw.groups[i].demand, sw.feasFlow.Frac[i], sw.g.NumLinks())
+	sw.interims[i] = v
+	return v
+}
+
+// certifyRound runs the Theorem-2 certificate for one round's post-state
+// demand mix: the changed ODs at their post-round demands over the
+// static background, warm-chained from the previous solve (the LP shape
+// is round-invariant). Solver failures are recorded, not swallowed.
+func (sw *swapper) certifyRound(demands []float64) (float64, error) {
+	if sw.opts.SkipCertify {
+		return math.NaN(), nil
+	}
+	for i := range sw.comms {
+		sw.comms[i].Demand = demands[i]
+	}
+	res, err := solveExact(sw.g, sw.comms, mcf.Options{
+		Background: sw.static,
+		Warm:       sw.certBasis,
+		Obs:        sw.opts.Obs,
+	})
+	sw.lpSolves++
+	if err != nil {
+		sw.opts.Obs.Counter("transition.certify_errors").Inc()
+		return math.NaN(), fmt.Errorf("transition: swap round certificate: %w", err)
+	}
+	sw.certBasis = res.Basis
+	return res.MLU, nil
+}
+
+// programInterim overwrites the network's FIB rows for group i's OD with
+// the LP interim routing fractions (same thresholding as Build).
+func (sw *swapper) programInterim(cu *mplsff.Network, i int) {
+	fr := sw.feasFlow.Frac[i]
+	od := sw.groups[i].od
+	for v := 0; v < sw.g.NumNodes(); v++ {
+		node := graph.NodeID(v)
+		var entries []mplsff.NHLFE
+		for _, id := range sw.g.Out(node) {
+			if fr[id] > 1e-12 {
+				entries = append(entries, mplsff.NHLFE{Out: id, Ratio: fr[id]})
+			}
+		}
+		cu.SetFIBRow(node, od, entries)
+	}
+}
+
+// copyODRows overwrites dst's base-FIB rows for one OD pair with src's
+// (deleting rows src lacks).
+func copyODRows(dst, src *mplsff.Network, od [2]graph.NodeID) {
+	for v := range dst.Routers {
+		dst.SetFIBRow(graph.NodeID(v), od, src.Routers[v].FIB[od])
+	}
 }

@@ -19,22 +19,24 @@ func (sc *scheduler) search() []uint64 {
 	}
 	full := uint64(1)<<n - 1
 	if n <= sc.opts.MaxExactGroups && sc.mluOf(full) <= 1+sc.opts.Tol {
-		if batches := sc.minKPath(full); batches != nil {
+		if batches := minKPath(n, 1+sc.opts.Tol, sc.envelope); batches != nil {
 			return batches
 		}
 	}
 	return sc.greedy(full)
 }
 
-// minKPath is a BFS over the subset lattice from ∅ to the full set,
-// where an edge S → S∪A (one round activating batch A) exists when every
-// intermediate subset between S and S∪A is feasible — the envelope bound
-// for asynchronous application. Batches are tried largest-first, so the
-// minimal-k solution prefers few big rounds. Returns nil when no fully
-// feasible path exists.
-func (sc *scheduler) minKPath(full uint64) []uint64 {
+// minKPath is a BFS over the subset lattice of n groups from ∅ to the
+// full set, where an edge S → S∪A (one round applying batch A) exists
+// when envelope(S, A) ≤ tol — the transient bound for asynchronous
+// application of the batch on top of the already-applied set. Batches
+// are tried largest-first, so the minimal-k solution prefers few big
+// rounds. Returns nil when no fully feasible path exists. The envelope
+// is a closure so both failure activation (intermediate-subset MLUs) and
+// plan swaps (mixed old/new commodity loads) search the same lattice.
+func minKPath(n int, tol float64, envelope func(cum, add uint64) float64) []uint64 {
 	const inf = int(1) << 30
-	tol := 1 + sc.opts.Tol
+	full := uint64(1)<<n - 1
 	dist := make([]int, full+1)
 	prev := make([]uint64, full+1)
 	for i := range dist {
@@ -54,7 +56,7 @@ func (sc *scheduler) minKPath(full uint64) []uint64 {
 			if dist[t] != inf {
 				continue
 			}
-			if sc.envelope(s, add) > tol {
+			if envelope(s, add) > tol {
 				continue
 			}
 			dist[t] = dist[s] + 1
@@ -200,7 +202,10 @@ func (sc *scheduler) execute(batches []uint64) *Sequence {
 
 		round.Seq = len(seq.Rounds) + 1
 		round.Kind = Activate
-		round.LPMLU = sc.certify(data.Failed())
+		round.LPMLU, round.CertifyErr = sc.certify(data.Failed())
+		if round.CertifyErr != nil {
+			seq.CertifyErrs++
+		}
 		round.CongestionFree = round.StateMLU <= tol && round.EnvelopeMLU <= tol
 		net := sc.materialize(data)
 		round.Delta = mplsff.Diff(prevNet, net)

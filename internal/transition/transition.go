@@ -63,7 +63,7 @@ func (k RoundKind) String() string {
 // feasibility evidence the scheduler gathered for it.
 type Round struct {
 	// Seq is the 1-based round number (mplsff.ApplyRound sequence).
-	Seq int
+	Seq  int
 	Kind RoundKind
 	// Links are the directed links taken down this round (nil for swap).
 	Links []graph.LinkID
@@ -77,10 +77,18 @@ type Round struct {
 	EnvelopeMLU float64
 	// LPMLU is the exact LP's optimal MLU for the post-round scenario —
 	// the Theorem-2 certificate (≤ 1 means a feasible routing exists; it
-	// lower-bounds StateMLU). NaN when certification was skipped.
+	// lower-bounds StateMLU). NaN when certification was skipped or the
+	// solver failed (CertifyErr distinguishes the two).
 	LPMLU float64
+	// CertifyErr records a certificate solver failure for this round; nil
+	// when the LP solved or certification was skipped.
+	CertifyErr error
+	// ODs lists the OD pairs migrated in this round of a plan swap (nil
+	// for failure-activation rounds, whose unit is Links).
+	ODs [][2]graph.NodeID
 	// Fallback marks rounds that installed an LP interim detour instead
-	// of the pure R3 rescaling.
+	// of the pure R3 rescaling — for plan swaps, rounds that migrate
+	// commodities onto the LP's interim routing rather than the final one.
 	Fallback bool
 	// CongestionFree reports StateMLU and EnvelopeMLU ≤ 1 (+tolerance).
 	CongestionFree bool
@@ -97,11 +105,16 @@ type Sequence struct {
 	TransientMLU float64
 	// FinalMLU is the MLU of the end state.
 	FinalMLU float64
-	// Fallbacks counts rounds that used an LP interim detour; Swaps
-	// counts reconciliation rounds (0 or 1).
+	// Fallbacks counts rounds that used an LP interim detour (for plan
+	// swaps: interim-routing migration rounds); Swaps counts swap-kind
+	// rounds (0 or 1 for failure activation, every round of a plan swap).
 	Fallbacks, Swaps int
 	// LPSolves counts exact-LP invocations (certificates + detours).
 	LPSolves int
+	// CertifyErrs counts rounds whose LP certificate failed to solve
+	// (Round.CertifyErr non-nil); mirrored by the
+	// transition.certify_errors counter.
+	CertifyErrs int
 	// Final is the reference network every router's view converges to
 	// after applying all rounds; its fingerprint equals one-shot
 	// activation of the same failure set.
@@ -155,6 +168,10 @@ func (o *Options) defaults() {
 func DiffPlans(old, next *core.Plan) *mplsff.Delta {
 	return mplsff.Diff(mplsff.Build(old), mplsff.Build(next))
 }
+
+// solveExact indirects mcf.MinMLUExact so tests can inject certificate
+// solver failures; production code always points at the real solver.
+var solveExact = mcf.MinMLUExact
 
 // Schedule decomposes the activation of a failure set into staged
 // rounds. The returned sequence's rounds are numbered 1..k and are meant
@@ -306,22 +323,25 @@ func (sc *scheduler) envelope(cum, add uint64) float64 {
 // certify runs the Theorem-2 certificate for a failure scenario: the
 // exact LP's optimal MLU over the plan's demands restricted to surviving
 // links. Warm-started from the previous certificate (the LP shape is
-// scenario-invariant). Returns NaN when disabled or the LP fails.
-func (sc *scheduler) certify(failed graph.LinkSet) float64 {
+// scenario-invariant). Returns NaN when disabled; a solver failure
+// returns NaN with the error, so callers can record it on the round
+// instead of silently shipping an uncertified sequence.
+func (sc *scheduler) certify(failed graph.LinkSet) (float64, error) {
 	if sc.opts.SkipCertify {
-		return math.NaN()
+		return math.NaN(), nil
 	}
-	res, err := mcf.MinMLUExact(sc.g, sc.plan.Base.Comms, mcf.Options{
+	res, err := solveExact(sc.g, sc.plan.Base.Comms, mcf.Options{
 		Alive: failed.Alive(),
 		Warm:  sc.certBasis,
 		Obs:   sc.opts.Obs,
 	})
 	sc.lpSolves++
 	if err != nil {
-		return math.NaN()
+		sc.opts.Obs.Counter("transition.certify_errors").Inc()
+		return math.NaN(), fmt.Errorf("transition: round certificate: %w", err)
 	}
 	sc.certBasis = res.Basis
-	return res.MLU
+	return res.MLU, nil
 }
 
 // interimDetour asks the exact LP for the best detour for link e's
