@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw profile-fw fuzz-smoke chaos transition swap daemon
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw bench-spf profile-fw fuzz-smoke chaos transition swap daemon
 
 all: build vet test
 
@@ -39,6 +39,14 @@ bench-lp:
 bench-fw:
 	$(GO) test -run '^$$' -bench 'BenchmarkFWSummary' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkSPF$$|BenchmarkWorstLoad|BenchmarkPrecompute$$' -benchmem .
+
+# bench-spf asserts byte-identical plans across SPF kernels, compares
+# serial flat vs incremental precompute on the 100-node generated
+# topology, runs the 1000-node Generated1K preset, and writes
+# BENCH_spf.json (guarded: refuses to overwrite results from a machine
+# with more CPUs unless -force is added).
+bench-spf:
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalSPFSummary' -benchtime 1x -timeout 60m .
 
 # profile-fw captures CPU and allocation profiles of a precompute on the
 # generated topology via r3plan's -cpuprofile/-memprofile flags; inspect

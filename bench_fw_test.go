@@ -137,13 +137,7 @@ func BenchmarkFWSummary(b *testing.B) {
 			summary["speedup"] = baseline / after
 			b.ReportMetric(baseline/after, "speedup")
 		}
-		out, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile("BENCH_fw.json", append(out, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+		writeBenchFile(b, "BENCH_fw.json", summary)
 		b.Logf("serial precompute %.2fs (baseline %.2fs, %.2fx) on %s", after, baseline, baseline/after, g.Name)
 	}
 }

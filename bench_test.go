@@ -7,11 +7,9 @@
 package repro_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -459,13 +457,7 @@ func BenchmarkLPColdVsWarm(b *testing.B) {
 			"pivot_ratio":       pivotRatio,
 			"wallclock_speedup": coldSec / warmSec,
 		}
-		out, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile("BENCH_lp.json", append(out, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+		writeBenchFile(b, "BENCH_lp.json", summary)
 		b.Logf("pivots over %d scenarios: cold %d vs warm %d (%.1fx); %0.3fs vs %0.3fs",
 			len(scenarios), coldC["lp.pivots"], warmC["lp.pivots"], pivotRatio, coldSec, warmSec)
 		b.ReportMetric(pivotRatio, "pivot-ratio")
@@ -513,13 +505,7 @@ func BenchmarkParallelSummary(b *testing.B) {
 				"speedup":          eSerial / ePar,
 			},
 		}
-		out, err := json.MarshalIndent(summary, "", "  ")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := os.WriteFile("BENCH_parallel.json", append(out, '\n'), 0o644); err != nil {
-			b.Fatal(err)
-		}
+		writeBenchFile(b, "BENCH_parallel.json", summary)
 		b.Logf("precompute %0.2fs serial vs %0.2fs x8 (%.2fx); evaluate %0.2fs vs %0.2fs (%.2fx) on %d CPUs",
 			pSerial, pPar, pSerial/pPar, eSerial, ePar, eSerial/ePar, runtime.NumCPU())
 		b.ReportMetric(pSerial/pPar, "precompute-speedup")

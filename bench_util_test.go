@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchForce lets `go test -bench ... -force` replace BENCH_*.json
+// results recorded on a machine with more CPUs than this one.
+var benchForce = flag.Bool("force", false, "overwrite BENCH_*.json results recorded at a higher CPU count")
+
+// benchKeepExisting reports whether an existing BENCH_*.json payload
+// should be kept instead of overwritten: true when it records a cpus
+// count higher than this machine's. Timings from a smaller machine would
+// silently replace the stronger result otherwise — the repo's committed
+// numbers should only ratchet toward better-provisioned runs.
+func benchKeepExisting(existing []byte, cpus int) bool {
+	var prev struct {
+		CPUs int `json:"cpus"`
+	}
+	if json.Unmarshal(existing, &prev) != nil {
+		return false
+	}
+	return prev.CPUs > cpus
+}
+
+// writeBenchFile writes a BENCH_*.json summary with the machine's CPU
+// counts stamped in, refusing to clobber a result measured on a bigger
+// machine unless -force is given.
+func writeBenchFile(b *testing.B, path string, summary map[string]any) {
+	b.Helper()
+	if _, ok := summary["cpus"]; !ok {
+		summary["cpus"] = runtime.NumCPU()
+	}
+	if _, ok := summary["gomaxprocs"]; !ok {
+		summary["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	}
+	if raw, err := os.ReadFile(path); err == nil && !*benchForce && benchKeepExisting(raw, runtime.NumCPU()) {
+		b.Logf("%s: keeping existing result (recorded on more CPUs than this machine has; rerun with -force to overwrite)", path)
+		return
+	}
+	out, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestBenchWriterGuard pins the overwrite policy: higher-cpus results are
+// kept, equal-or-lower-cpus results (and unreadable files) are replaced.
+func TestBenchWriterGuard(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		cpus int
+		keep bool
+	}{
+		{"higher", `{"cpus": 16}`, 8, true},
+		{"equal", `{"cpus": 8}`, 8, false},
+		{"lower", `{"cpus": 4}`, 8, false},
+		{"missing-field", `{"note": "x"}`, 8, false},
+		{"garbage", `not json`, 8, false},
+	}
+	for _, tc := range cases {
+		if got := benchKeepExisting([]byte(tc.raw), tc.cpus); got != tc.keep {
+			t.Errorf("%s: benchKeepExisting = %v, want %v", tc.name, got, tc.keep)
+		}
+	}
+}

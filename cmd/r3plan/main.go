@@ -21,6 +21,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/routing"
+	"repro/internal/spf"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 	"repro/internal/transition"
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("net", "abilene", "topology: abilene|level3|sbc|uunet|generated|usisp")
+		name      = flag.String("net", "abilene", "topology: abilene|level3|sbc|uunet|generated|generated1k|usisp")
 		file      = flag.String("file", "", "load a topology file instead of a built-in")
 		tmFile    = flag.String("tm", "", "load a traffic matrix file instead of gravity demands")
 		f         = flag.Int("f", 1, "number of overlapping link failures to protect against")
@@ -37,6 +39,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "solver worker goroutines (0 = all CPUs, 1 = serial; same plan either way)")
 		envelope  = flag.Float64("envelope", 1.1, "normal-case penalty envelope (0 to disable)")
 		seed      = flag.Int64("seed", 1, "gravity traffic seed")
+		topk      = flag.Int("topk", 0, "keep only the k heaviest gravity OD pairs (0 = dense; required for 1000-node-class topologies)")
+		spfMode   = flag.String("spf", "auto", "planner SPF kernel: auto|flat|incremental|delta (byte-identical plans; speed only)")
+		baseMode  = flag.String("base", "opt", "base routing: opt (jointly optimized) or ospf (pinned to ECMP on current weights; required for 1000-node-class topologies)")
 		save      = flag.String("save", "", "write the plan to this file")
 		load      = flag.String("load", "", "read a plan from this file instead of solving")
 		fail      = flag.String("fail", "", "comma-separated link IDs to fail")
@@ -86,8 +91,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	} else if *topk > 0 {
+		d = traffic.GravityTopK(g, demandTotal(*total, g), *seed, *topk)
 	} else {
 		d = traffic.Gravity(g, demandTotal(*total, g), *seed)
+	}
+	mode, err := spf.ParseMode(*spfMode)
+	if err != nil {
+		fatal(err)
+	}
+	// -base ospf pins the base routing to ECMP on the graph's current
+	// weights and optimizes only the protection routing (the OSPF+R3
+	// configuration of the paper's evaluation). The envelope is moot with
+	// a pinned base — it penalizes base-routing stretch, which is no
+	// longer a variable — so it is dropped.
+	var baseFlow *routing.Flow
+	switch *baseMode {
+	case "opt":
+	case "ospf":
+		comms := routing.ODCommodities(g.NumNodes(), d.At)
+		baseFlow = spf.ECMPFlow(g, comms, nil, spf.WeightCost(g))
+		*envelope = 0
+	default:
+		fatal(fmt.Errorf("unknown -base %q (want opt|ospf)", *baseMode))
 	}
 
 	var plan *core.Plan
@@ -106,9 +132,11 @@ func main() {
 		fmt.Printf("precomputing R3 plan for %s, F=%d...\n", g.Name, *f)
 		plan, err = core.Precompute(g, d, core.Config{
 			Model:           core.ArbitraryFailures{F: *f},
+			BaseRouting:     baseFlow,
 			Iterations:      *effort,
 			PenaltyEnvelope: *envelope,
 			Workers:         *workers,
+			SPF:             mode,
 			Obs:             reg,
 		})
 		if err != nil {
@@ -290,6 +318,8 @@ func lookupTopo(name string) (*graph.Graph, error) {
 		return topo.UUNet(), nil
 	case "generated":
 		return topo.Generated(), nil
+	case "generated1k":
+		return topo.Generated1K(), nil
 	case "usisp":
 		return topo.USISP(), nil
 	}

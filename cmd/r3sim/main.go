@@ -33,6 +33,7 @@ func main() {
 		days       = flag.Int("days", 0, "days for week-scale experiments")
 		beta       = flag.Float64("beta", 1.1, "penalty envelope for fig9")
 		seed       = flag.Int64("seed", 1, "random seed")
+		shards     = flag.Int("shards", 0, "evaluation scenario shards (0 = auto; identical results at any count)")
 		quick      = flag.Bool("quick", false, "reduced-scale smoke run")
 		outFile    = flag.String("o", "", "write output to this file instead of stdout")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics and /debug/pprof on this address")
@@ -52,10 +53,11 @@ func main() {
 
 	o := exp.Options{
 		Effort: *effort, OptIter: *optIter, MaxScenarios: *scenarios,
-		Days: *days, Seed: *seed,
+		Days: *days, Seed: *seed, Shards: *shards,
 	}
 	if *quick {
 		o = exp.Quick()
+		o.Shards = *shards
 	}
 	o.Obs = reg
 	w := io.Writer(os.Stdout)

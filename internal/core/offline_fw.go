@@ -77,6 +77,12 @@ type Config struct {
 	// Plan.LPBasis). A mismatched basis silently falls back to a cold
 	// solve, so passing a stale basis is safe; the FW solver ignores it.
 	LPWarmBasis *lp.Basis
+	// SPF selects the shortest-path kernel driving the FW solver's oracle
+	// sweeps (default spf.ModeAuto). Every mode produces bitwise-identical
+	// shortest-path trees (see the contract in internal/spf), so the plan
+	// is byte-identical whichever mode is active — SPF trades only
+	// wall-clock time. The LP solver ignores it.
+	SPF spf.Mode
 }
 
 // Priority couples one traffic class with the number of failures it must
@@ -304,6 +310,7 @@ func solveFW(g *graph.Graph, comms []routing.Commodity, reqs []requirement, cfg 
 		optimizeBase: optimizeBase,
 		pool:         par.New(cfg.Workers),
 		o:            newFWObs(cfg.Obs),
+		spfMode:      cfg.SPF.Resolve(g.NumNodes()),
 	}
 	if cfg.Obs != nil {
 		pool := st.pool
@@ -349,11 +356,14 @@ func highestModelIndex(reqs []requirement) int {
 // the uninstrumented configuration: every call is a nil-receiver no-op,
 // so the solver code reports unconditionally.
 type fwObs struct {
-	spf    *obs.Counter    // Dijkstra invocations in the solver loop
-	epochs *obs.Counter    // completed FW epochs
-	mlu    *obs.FloatGauge // latest true objective
-	step   *obs.FloatGauge // latest accepted global step size
-	trace  *obs.Trace      // span tree: fw.run > epoch > {directions, global-step, r-sweep, p-sweep}
+	spf       *obs.Counter    // Dijkstra invocations in the solver loop
+	repairs   *obs.Counter    // incremental tree repairs (spf.incremental_repairs)
+	fallbacks *obs.Counter    // flat rebuilds of dynamic trees (spf.full_fallbacks)
+	dirtyFrac *obs.Histogram  // dirty-link percentage per tree update (spf.dirty_frac)
+	epochs    *obs.Counter    // completed FW epochs
+	mlu       *obs.FloatGauge // latest true objective
+	step      *obs.FloatGauge // latest accepted global step size
+	trace     *obs.Trace      // span tree: fw.run > epoch > {directions, global-step, r-sweep, p-sweep}
 }
 
 func newFWObs(reg *obs.Registry) fwObs {
@@ -361,11 +371,28 @@ func newFWObs(reg *obs.Registry) fwObs {
 		return fwObs{}
 	}
 	return fwObs{
-		spf:    reg.Counter("fw.spf"),
-		epochs: reg.Counter("fw.epochs"),
-		mlu:    reg.FloatGauge("fw.mlu"),
-		step:   reg.FloatGauge("fw.step"),
-		trace:  reg.Trace("fw"),
+		spf:       reg.Counter("fw.spf"),
+		repairs:   reg.Counter("spf.incremental_repairs"),
+		fallbacks: reg.Counter("spf.full_fallbacks"),
+		dirtyFrac: reg.Histogram("spf.dirty_frac", obs.LinearBounds(0, 10, 10)),
+		epochs:    reg.Counter("fw.epochs"),
+		mlu:       reg.FloatGauge("fw.mlu"),
+		step:      reg.FloatGauge("fw.step"),
+		trace:     reg.Trace("fw"),
+	}
+}
+
+// noteUpdate routes one DynTree.Update outcome to the observability
+// handles (all no-ops when uninstrumented).
+func (o *fwObs) noteUpdate(kind spf.UpdateKind, frac float64) {
+	switch kind {
+	case spf.UpdateRepaired:
+		o.repairs.Inc()
+	case spf.UpdateRebuilt:
+		o.fallbacks.Inc()
+	}
+	if kind != spf.UpdateNone {
+		o.dirtyFrac.Observe(int64(frac * 100))
 	}
 }
 
@@ -381,6 +408,7 @@ type fwState struct {
 	optimizeBase bool
 	pool         *par.Pool
 	o            fwObs
+	spfMode      spf.Mode // resolved kernel mode (never ModeAuto)
 
 	// best-so-far snapshot by true objective
 	bestObj float64
@@ -402,6 +430,14 @@ type fwState struct {
 	spfPool spf.ScratchPool
 	bufMu   sync.Mutex
 	bufFree [][]float64 // free list of len-nL rows for per-worker scratch
+
+	// Incremental-SPF state (spfMode != ModeFlat): one dynamic reverse
+	// tree per protected link, repaired across epochs from the sparse
+	// gradient-cost deltas instead of rebuilt by a full Dijkstra.
+	pTrees   []spf.DynTree
+	stampGen int32 // generation for ar.stampE
+	pbMu     sync.Mutex
+	pbFree   [][]graph.LinkID // free list of path scratch for delayBoundedPath
 }
 
 // fwArena holds the solver's reusable buffers. Ownership rule: a buffer is
@@ -430,6 +466,17 @@ type fwArena struct {
 	pPathBuf [][]graph.LinkID // retained path storage per protected link
 	dsts     []graph.NodeID   // rDirections: sorted distinct destinations
 	dstComms [][]int          // rDirections: commodities per destination
+
+	// Incremental-SPF scratch (unused under ModeFlat).
+	pPat     [][]int32        // pDirections: previous epoch's nonzero cells per protected link
+	pPatNew  [][]int32        // pDirections: current epoch's nonzero cells per protected link
+	patPairs [][]int32        // pDirections: per-chunk (l, e) first-contribution pairs
+	pIDs     [][]int32        // pDirections: per-link candidate link ids (old ∪ new pattern)
+	pVals    [][]float64      // pDirections: per-link candidate costs, aligned with pIDs
+	stampE   []int32          // p-sweep: generation-stamped active-cell marker per link
+	active2  []int32          // p-sweep: active cells of the last accepted block
+	delay    []float64        // delayBoundedPath: per-link propagation delay row
+	dPathBuf [][]graph.LinkID // retained delay-bounded path per commodity
 }
 
 func newMatrix(rows, cols int) [][]float64 {
@@ -464,6 +511,19 @@ func (s *fwState) ensureArena() {
 	a.pPaths = make([][]graph.LinkID, nL)
 	a.rPathBuf = make([][]graph.LinkID, nK)
 	a.pPathBuf = make([][]graph.LinkID, nL)
+	a.delay = make([]float64, nL)
+	for e := 0; e < nL; e++ {
+		a.delay[e] = s.g.Link(graph.LinkID(e)).Delay
+	}
+	a.dPathBuf = make([][]graph.LinkID, nK)
+	if s.spfMode != spf.ModeFlat {
+		a.pPat = make([][]int32, nL)
+		a.pPatNew = make([][]int32, nL)
+		a.pIDs = make([][]int32, nL)
+		a.pVals = make([][]float64, nL)
+		a.stampE = make([]int32, nL)
+		a.active2 = make([]int32, nL)
+	}
 }
 
 // getBuf and putBuf recycle len-nL float rows for per-worker scratch in
@@ -687,6 +747,13 @@ func (s *fwState) run(effort int) {
 	s.bestObj = math.Inf(1)
 	s.ensureArena()
 	s.csr = s.g.CSR()
+	if s.spfMode != spf.ModeFlat && s.pTrees == nil {
+		s.pTrees = make([]spf.DynTree, nL)
+		useDelta := s.spfMode == spf.ModeDelta
+		for l := 0; l < nL; l++ {
+			s.pTrees[l].Reset(s.csr, s.g.Link(graph.LinkID(l)).Dst, useDelta)
+		}
+	}
 
 	// Incremental top-F selection per pcol column: valid whenever every
 	// model is ArbitraryFailures. K is one more than the largest F so the
@@ -703,6 +770,15 @@ func (s *fwState) run(effort int) {
 		s.topK = maxF + 1
 		if s.tops == nil {
 			s.tops = make([]colTop, nL)
+		}
+	}
+	// The incremental p sweep rides on the colTop fast path (allArb with
+	// worstArb-valid F on every requirement); ModeFlat keeps the reference
+	// evaluation, which the differential tests compare against.
+	incSweep := s.spfMode != spf.ModeFlat && s.topK > 0
+	for _, f := range arbF {
+		if f >= nL {
+			incSweep = false
 		}
 	}
 	rebuildTops := func() {
@@ -1067,6 +1143,220 @@ func (s *fwState) run(effort int) {
 
 		// ---- p block sweep ----
 		pSweepSp := epochSp.Child("p-sweep")
+		if incSweep {
+			// Incremental evaluation of the reference sweep in the else
+			// branch. For block l a cell (i, e) is static when p_l(e) = 0
+			// and e is off the oracle path: its mixed value x stays
+			// exactly +0, and the insertion stats walked at x = 0
+			// reproduce the buffer-order top-F sum — tops[e].worstArb —
+			// bit for bit (l holds no positive entry, so the first F
+			// non-l entries are the first F entries, summed in the same
+			// order). Static utilizations and their exp terms are
+			// therefore cached like the r sweep's, keyed on the current
+			// reference point, and every eval computes math.Exp only at
+			// the active cells plus cache refills; the z sum still adds
+			// all cells in ascending order so its float association —
+			// and the accepted plan — matches the reference exactly.
+			u0 := s.ar.u0
+			expu := s.ar.expu
+			stamp := s.ar.stampE
+			act := s.ar.active
+			prevAct := s.ar.active2
+			nPrev := 0
+			fillU0P := func(i, lo, hi int) {
+				li, u0i := loads[i], u0[i]
+				F := arbF[i]
+				for e := lo; e < hi; e++ {
+					u0i[e] = (li[e] + s.tops[e].worstArb(F)) / s.capac[e]
+				}
+			}
+			if s.pool.Inline() {
+				for i := 0; i < nI; i++ {
+					fillU0P(i, 0, nL)
+				}
+			} else {
+				s.pool.ForEach(nI*nC, func(t int) {
+					i := t / nC
+					lo, hi := par.Chunk(nL, t%nC)
+					fillU0P(i, lo, hi)
+				})
+			}
+			cachedWorst := math.NaN()
+			refill := func(worst float64) {
+				fill := func(i, lo, hi int) {
+					u0i, ei := u0[i], expu[i]
+					for e := lo; e < hi; e++ {
+						ei[e] = math.Exp((u0i[e] - worst) / mu)
+					}
+				}
+				if s.pool.Inline() {
+					for i := 0; i < nI; i++ {
+						fill(i, 0, nL)
+					}
+				} else {
+					s.pool.ForEach(nI*nC, func(t int) {
+						i := t / nC
+						lo, hi := par.Chunk(nL, t%nC)
+						fill(i, lo, hi)
+					})
+				}
+				cachedWorst = worst
+			}
+			for l := 0; l < nL; l++ {
+				path := pPaths[l]
+				if path == nil {
+					continue
+				}
+				cl := s.capac[l]
+				for e := range xDir {
+					xDir[e] = 0
+				}
+				for _, id := range path {
+					xDir[id] = cl
+				}
+				pl := s.P[l]
+				// Active cells: the support of p_l plus the oracle path.
+				// p_l(e) != 0 iff pcol[e][l] != 0 (pcol mirrors c_l·P
+				// exactly in columns and the accept loop, and the values
+				// never reach the subnormal range where the product or
+				// quotient could flush to zero), so the contiguous P row
+				// substitutes for a strided pcol scan.
+				s.stampGen++
+				gen := s.stampGen
+				nAct := 0
+				for e := 0; e < nL; e++ {
+					if pl[e] != 0 {
+						stamp[e] = gen
+						act[nAct] = int32(e)
+						nAct++
+					}
+				}
+				for _, id := range path {
+					if stamp[id] != gen {
+						stamp[id] = gen
+						act[nAct] = int32(id)
+						nAct++
+					}
+				}
+				// Insertion stats only where fresh evaluation happens.
+				for i := 0; i < nI; i++ {
+					F := arbF[i]
+					sfi, afi := sFm1[i], aF[i]
+					for _, e32 := range act[:nAct] {
+						e := int(e32)
+						sfi[e], afi[e] = s.tops[e].stats(int32(l), F)
+					}
+				}
+				evalW := func(i, e int, x float64) float64 {
+					if x > aF[i][e] {
+						return sFm1[i][e] + x
+					}
+					return sFm1[i][e] + aF[i][e]
+				}
+				staticMax := 0.0
+				for i := 0; i < nI; i++ {
+					u0i := u0[i]
+					for e := 0; e < nL; e++ {
+						if stamp[e] != gen && u0i[e] > staticMax {
+							staticMax = u0i[e]
+						}
+					}
+				}
+				eval := func(gamma float64) float64 {
+					worst := staticMax
+					for i := 0; i < nI; i++ {
+						li := loads[i]
+						for _, e32 := range act[:nAct] {
+							e := int(e32)
+							x := (1-gamma)*s.pcol[e][l] + gamma*xDir[e]
+							u := (li[e] + evalW(i, e, x)) / s.capac[e]
+							if u > worst {
+								worst = u
+							}
+						}
+					}
+					if worst != cachedWorst {
+						refill(worst)
+					}
+					var z float64
+					for i := 0; i < nI; i++ {
+						li, ei := loads[i], expu[i]
+						for e := 0; e < nL; e++ {
+							if stamp[e] == gen {
+								x := (1-gamma)*s.pcol[e][l] + gamma*xDir[e]
+								u := (li[e] + evalW(i, e, x)) / s.capac[e]
+								z += math.Exp((u - worst) / mu)
+							} else {
+								z += ei[e]
+							}
+						}
+					}
+					return worst + mu*math.Log(z)
+				}
+				gamma := ternaryMin(eval, 12)
+				if gamma <= 1e-9 || eval(gamma) >= eval(0)-1e-15 {
+					continue
+				}
+				for _, e32 := range act[:nAct] {
+					e := int(e32)
+					old := s.pcol[e][l]
+					nv := (1-gamma)*old + gamma*xDir[e]
+					s.pcol[e][l] = nv
+					pl[e] = nv / cl
+					if s.topK > 0 && nv != old {
+						s.tops[e].update(int32(l), nv, s.pcol[e], s.topK)
+					}
+				}
+				// The reference refresh rewrites every W cell: active
+				// cells take the insertion-stats value at the accepted x;
+				// static cells collapse back to the buffer-order worstArb
+				// sum. Only the previous accepted block's active cells can
+				// hold insertion-order bits, so the rewrite touches
+				// prevAct \ act plus act — every other cell already
+				// stores worstArb of an unchanged top buffer.
+				for i := 0; i < nI; i++ {
+					F := arbF[i]
+					Wi := W[i]
+					for _, e32 := range prevAct[:nPrev] {
+						e := int(e32)
+						if stamp[e] != gen {
+							Wi[e] = s.tops[e].worstArb(F)
+						}
+					}
+					for _, e32 := range act[:nAct] {
+						e := int(e32)
+						Wi[e] = evalW(i, e, s.pcol[e][l])
+					}
+				}
+				// Refresh the static view and exp cache at the cells the
+				// accept moved (their top buffers changed), at the current
+				// reference point.
+				for i := 0; i < nI; i++ {
+					F := arbF[i]
+					li, u0i, ei := loads[i], u0[i], expu[i]
+					for _, e32 := range act[:nAct] {
+						e := int(e32)
+						u0i[e] = (li[e] + s.tops[e].worstArb(F)) / s.capac[e]
+						ei[e] = math.Exp((u0i[e] - cachedWorst) / mu)
+					}
+				}
+				copy(prevAct[:nAct], act[:nAct])
+				nPrev = nAct
+			}
+			pSweepSp.End()
+
+			obj = trueObj()
+			if obj < s.bestObj {
+				s.snapshotBest(obj)
+			}
+			s.o.mlu.Set(obj)
+			s.o.epochs.Inc()
+			epochSp.SetFloat("mlu", obj)
+			epochSp.SetFloat("step", gamma)
+			epochSp.SetFloat("mu", mu)
+			epochSp.End()
+			continue
+		}
 		for l := 0; l < nL; l++ {
 			path := pPaths[l]
 			if path == nil {
@@ -1342,19 +1632,49 @@ func (s *fwState) globalStep(loads, W [][]float64, q [][]float64, rPaths, pPaths
 // is slot-parallel, with an ActiveSet scratch per worker. All buffers come
 // from the arena: costP rows are zeroed up front, the kernel scratch and
 // y rows recycle through pools, and paths append into retained storage.
+//
+// Under an incremental SPF mode the per-link trees persist across epochs:
+// the gradient rows are sparse over a constant 1e-12 floor (a cell is
+// nonzero only where the link's virtual demand sits in some worst case),
+// so between epochs only the union of the old and new nonzero patterns
+// can change. Each link's DynTree is repaired from exactly those
+// candidate cells, with costP[l][e] + 1e-12 — the same float add the flat
+// path bakes in place — as the candidate cost, which makes the repaired
+// tree and the produced path bit-identical to the flat sweep.
 func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 	nL := s.g.NumLinks()
 	nI := len(s.reqs)
 	costP := s.ar.costP
+	incremental := s.spfMode != spf.ModeFlat
+	paths := s.ar.pPaths
+
 	zeroRows := func(lo, hi int) {
 		for l := lo; l < hi; l++ {
+			if incremental {
+				// Only pattern cells are ever nonzero; clear just those.
+				row := costP[l]
+				for _, e := range s.ar.pPat[l] {
+					row[e] = 0
+				}
+				s.ar.pPatNew[l] = s.ar.pPatNew[l][:0]
+				continue
+			}
 			row := costP[l]
 			for e := range row {
 				row[e] = 0
 			}
 		}
 	}
-	accumulate := func(lo, hi int, y []float64) {
+	// accumulate fills chunk c (columns [lo, hi)). In incremental mode the
+	// first contribution to a cell records the (l, e) pair in the chunk's
+	// pair buffer; chunks partition e, so each cell has exactly one owner
+	// and the per-chunk buffers concatenate to the full pattern in
+	// ascending-e order.
+	accumulate := func(c, lo, hi int, y []float64) {
+		var pairs []int32
+		if incremental {
+			pairs = s.ar.patPairs[c][:0]
+		}
 		for e := lo; e < hi; e++ {
 			for i := 0; i < nI; i++ {
 				if q[i][e] == 0 {
@@ -1364,46 +1684,141 @@ func (s *fwState) pDirections(q [][]float64) [][]graph.LinkID {
 				w := q[i][e] / s.capac[e]
 				for l := 0; l < nL; l++ {
 					if y[l] > 0 {
+						if incremental && costP[l][e] == 0 {
+							pairs = append(pairs, int32(l), int32(e))
+						}
 						costP[l][e] += w * y[l]
 					}
 				}
 			}
 		}
+		if incremental {
+			s.ar.patPairs[c] = pairs
+		}
 	}
-	paths := s.ar.pPaths
 	sweep := func(l int) {
 		link := s.g.Link(graph.LinkID(l))
 		row := costP[l]
-		// Bake the tie-breaking floor into the row: the reference cost
-		// closure evaluated costP[l][id] + 1e-12 per relaxation, the same
-		// float add performed here once per link.
-		for id := 0; id < nL; id++ {
-			row[id] = row[id] + 1e-12
+		var next []int32
+		if incremental {
+			tree := &s.pTrees[l]
+			if !tree.Ready() {
+				buf := s.getBuf()
+				for e := 0; e < nL; e++ {
+					buf[e] = row[e] + 1e-12
+				}
+				tree.Full(buf)
+				s.putBuf(buf)
+				s.o.fallbacks.Inc()
+			} else {
+				// Candidates: old ∪ new nonzero cells, merged in ascending
+				// link order (both lists are e-sorted). Cells outside both
+				// patterns cost exactly 1e-12 before and after.
+				ids, vals := s.ar.pIDs[l][:0], s.ar.pVals[l][:0]
+				oldP, newP := s.ar.pPat[l], s.ar.pPatNew[l]
+				oi, ni := 0, 0
+				for oi < len(oldP) || ni < len(newP) {
+					var e int32
+					switch {
+					case oi == len(oldP):
+						e = newP[ni]
+						ni++
+					case ni == len(newP):
+						e = oldP[oi]
+						oi++
+					case oldP[oi] < newP[ni]:
+						e = oldP[oi]
+						oi++
+					case oldP[oi] > newP[ni]:
+						e = newP[ni]
+						ni++
+					default:
+						e = oldP[oi]
+						oi, ni = oi+1, ni+1
+					}
+					ids = append(ids, e)
+					vals = append(vals, row[e]+1e-12)
+				}
+				s.ar.pIDs[l], s.ar.pVals[l] = ids, vals
+				kind, frac := tree.Update(ids, vals, 0.25)
+				s.o.noteUpdate(kind, frac)
+			}
+			s.o.spf.Inc()
+			next = tree.Next()
+		} else {
+			// Bake the tie-breaking floor into the row: the reference cost
+			// closure evaluated costP[l][id] + 1e-12 per relaxation, the
+			// same float add performed here once per link.
+			for id := 0; id < nL; id++ {
+				row[id] = row[id] + 1e-12
+			}
+			sc := s.spfPool.Get()
+			spf.SPFTo(s.csr, link.Dst, row, nil, sc)
+			s.o.spf.Inc()
+			next = sc.Next
+			defer s.spfPool.Put(sc)
 		}
-		sc := s.spfPool.Get()
-		spf.SPFTo(s.csr, link.Dst, row, nil, sc)
-		s.o.spf.Inc()
-		p := spf.PathFromNext(s.csr, link.Src, sc.Next, s.ar.pPathBuf[l][:0])
+		p := spf.PathFromNext(s.csr, link.Src, next, s.ar.pPathBuf[l][:0])
 		if p != nil {
 			s.ar.pPathBuf[l] = p
 		}
 		paths[l] = p
-		s.spfPool.Put(sc)
 	}
 	if s.pool.Inline() {
 		zeroRows(0, nL)
+		if s.ar.patPairs == nil {
+			s.ar.patPairs = make([][]int32, 1)
+		}
 		y := s.getBuf()
-		accumulate(0, nL, y)
+		accumulate(0, 0, nL, y)
 		s.putBuf(y)
+		s.mergePatterns(1)
 		for l := 0; l < nL; l++ {
 			sweep(l)
 		}
+		s.swapPatterns()
 		return paths
 	}
 	s.pool.ForEachChunk(nL, zeroRows)
-	par.ForEachChunkScratchFree(s.pool, nL, s.getBuf, accumulate, s.putBuf)
+	nC := par.NumChunks(nL)
+	if s.ar.patPairs == nil || len(s.ar.patPairs) < nC {
+		s.ar.patPairs = make([][]int32, nC)
+	}
+	s.pool.ForEach(nC, func(c int) {
+		lo, hi := par.Chunk(nL, c)
+		y := s.getBuf()
+		accumulate(c, lo, hi, y)
+		s.putBuf(y)
+	})
+	s.mergePatterns(nC)
 	s.pool.ForEach(nL, sweep)
+	s.swapPatterns()
 	return paths
+}
+
+// mergePatterns scatters the per-chunk (l, e) pair buffers into per-link
+// pattern lists. Chunks are walked in ascending order and each buffer is
+// internally e-sorted, so every pPatNew[l] comes out e-sorted.
+func (s *fwState) mergePatterns(nC int) {
+	if s.spfMode == spf.ModeFlat {
+		return
+	}
+	for c := 0; c < nC; c++ {
+		pairs := s.ar.patPairs[c]
+		for j := 0; j+1 < len(pairs); j += 2 {
+			l, e := pairs[j], pairs[j+1]
+			s.ar.pPatNew[l] = append(s.ar.pPatNew[l], e)
+		}
+	}
+}
+
+// swapPatterns promotes this epoch's nonzero patterns to "previous" for
+// the next epoch's delta computation.
+func (s *fwState) swapPatterns() {
+	if s.spfMode == spf.ModeFlat {
+		return
+	}
+	s.ar.pPat, s.ar.pPatNew = s.ar.pPatNew, s.ar.pPat
 }
 
 // ternaryMin minimizes a convex function on [0,1] by ternary search.
@@ -1519,10 +1934,29 @@ func (s *fwState) checkedPath(k int, path []graph.LinkID, cost []float64) []grap
 		return nil
 	}
 	if s.delayCap != nil && pathDelay(s.g, path) > s.delayCap[k]+1e-9 {
-		costFn := func(id graph.LinkID) float64 { return cost[id] }
-		return s.delayBoundedPath(s.comms[k].Src, s.comms[k].Dst, costFn, s.delayCap[k])
+		return s.delayBoundedPath(k, cost, s.delayCap[k])
 	}
 	return path
+}
+
+// getPathBuf and putPathBuf recycle path scratch for delayBoundedPath's
+// probe paths (scratch contents never affect results, so recycling order
+// is immaterial to determinism).
+func (s *fwState) getPathBuf() []graph.LinkID {
+	s.pbMu.Lock()
+	defer s.pbMu.Unlock()
+	if n := len(s.pbFree); n > 0 {
+		b := s.pbFree[n-1]
+		s.pbFree = s.pbFree[:n-1]
+		return b
+	}
+	return make([]graph.LinkID, 0, 16)
+}
+
+func (s *fwState) putPathBuf(b []graph.LinkID) {
+	s.pbMu.Lock()
+	s.pbFree = append(s.pbFree, b)
+	s.pbMu.Unlock()
 }
 
 // snapshotBest records the current iterate as the best seen.
@@ -1566,38 +2000,65 @@ func pathDelay(g *graph.Graph, path []graph.LinkID) float64 {
 	return d
 }
 
-// delayBoundedPath finds a low-cost path whose propagation delay does not
-// exceed bound, via Lagrangian bisection on cost + θ·delay. Falls back to
-// the minimum-delay path.
-func (s *fwState) delayBoundedPath(src, dst graph.NodeID, costFn spf.Cost, bound float64) []graph.LinkID {
-	delay := spf.DelayCost(s.g)
+// delayBoundedPath finds a low-cost path for commodity k whose propagation
+// delay does not exceed bound, via Lagrangian bisection on cost + θ·delay.
+// Falls back to the minimum-delay path. Every probe runs on the
+// allocation-free reverse kernel with pooled scratch (the former
+// closure-based spf.ShortestPath calls allocated a visit set and a fresh
+// path per probe); the returned path lives in the commodity's retained
+// buffer, so warm calls allocate nothing.
+func (s *fwState) delayBoundedPath(k int, cost []float64, bound float64) []graph.LinkID {
+	src, dst := s.comms[k].Src, s.comms[k].Dst
+	nL := s.g.NumLinks()
+	delay := s.ar.delay
+	sc := s.spfPool.Get()
+	combined := s.getBuf()
+	bestBuf := s.getPathBuf()
+	candBuf := s.getPathBuf()
+
 	s.o.spf.Inc()
-	minDelayPath := spf.ShortestPath(s.g, src, dst, nil, delay)
-	if minDelayPath == nil || pathDelay(s.g, minDelayPath) > bound+1e-9 {
-		return minDelayPath
+	spf.SPFTo(s.csr, dst, delay, nil, sc)
+	best := spf.PathFromNext(s.csr, src, sc.Next, bestBuf[:0])
+	if best != nil {
+		bestBuf = best
 	}
-	best := minDelayPath
-	lo, hi := 0.0, 1.0
-	// Grow hi until the combined path is delay-feasible.
-	for t := 0; t < 12; t++ {
-		theta := (lo + hi) / 2
-		combined := func(id graph.LinkID) float64 { return costFn(id) + theta*delay(id) }
-		s.o.spf.Inc()
-		p := spf.ShortestPath(s.g, src, dst, nil, combined)
-		if p == nil {
-			break
-		}
-		if pathDelay(s.g, p) <= bound+1e-9 {
-			best = p
-			hi = theta
-		} else {
-			lo = theta
-			if t == 0 {
-				hi = hi * 2
+	if best != nil && pathDelay(s.g, best) <= bound+1e-9 {
+		lo, hi := 0.0, 1.0
+		// Grow hi until the combined path is delay-feasible.
+		for t := 0; t < 12; t++ {
+			theta := (lo + hi) / 2
+			for e := 0; e < nL; e++ {
+				combined[e] = cost[e] + theta*delay[e]
+			}
+			s.o.spf.Inc()
+			spf.SPFTo(s.csr, dst, combined, nil, sc)
+			p := spf.PathFromNext(s.csr, src, sc.Next, candBuf[:0])
+			if p == nil {
+				break
+			}
+			candBuf = p
+			if pathDelay(s.g, p) <= bound+1e-9 {
+				bestBuf, candBuf = candBuf, bestBuf
+				best = bestBuf
+				hi = theta
+			} else {
+				lo = theta
+				if t == 0 {
+					hi = hi * 2
+				}
 			}
 		}
 	}
-	return best
+	var out []graph.LinkID
+	if best != nil {
+		out = append(s.ar.dPathBuf[k][:0], best...)
+		s.ar.dPathBuf[k] = out
+	}
+	s.putPathBuf(candBuf)
+	s.putPathBuf(bestBuf)
+	s.putBuf(combined)
+	s.spfPool.Put(sc)
+	return out
 }
 
 // groupStats fills, for every link e in [lo, hi), best[e] = the largest

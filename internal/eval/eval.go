@@ -221,12 +221,40 @@ type Engine struct {
 	ExactOptimal bool
 	// Workers bounds evaluation concurrency (default GOMAXPROCS).
 	Workers int
+	// Shards partitions the scenario list into contiguous index-ordered
+	// shards (par.ShardRanges): shards are evaluated concurrently, while
+	// scenarios within a shard run serially in index order on one worker,
+	// each shard owning a private optimal-baseline instance — and, in
+	// exact mode, a private warm-basis chain seeded from its own
+	// no-failure solve. Cold-start LP solves are deterministic, so every
+	// shard's seed basis is bitwise the basis the unsharded engine
+	// publishes, and results stay byte-identical at every shard and
+	// worker count. 0 selects min(32, ceil(scenarios/8)); values are
+	// clamped to the scenario count. 1 evaluates everything on a single
+	// serial chain.
+	Shards int
 	// Obs, when non-nil, receives evaluation metrics: the per-scenario
 	// latency histogram "eval.scenario_us", the running "eval.scenarios"
-	// count, "eval.scenarios_per_sec" over the last Evaluate call, and
+	// count, "eval.scenarios_per_sec" over the last Evaluate call, the
+	// running "eval.shards" count of shards executed, and
 	// "eval.bottleneck_links" tallying how often each link is the
 	// bottleneck across scheme evaluations. Nil disables all of it.
 	Obs *obs.Registry
+}
+
+// resolveShards maps the Shards knob to a concrete shard count for n
+// scenarios. The auto policy targets ~8 scenarios per shard, capped at 32
+// shards: enough shards to keep a 16-worker pool fed, few enough that the
+// per-shard optimal-baseline seed solve stays amortized.
+func (en *Engine) resolveShards(n int) int {
+	if en.Shards > 0 {
+		return en.Shards
+	}
+	s := (n + 7) / 8
+	if s > 32 {
+		s = 32
+	}
+	return s
 }
 
 // bottleneckLink returns the index of the most-utilized alive link, or -1
@@ -246,17 +274,26 @@ func bottleneckLink(g *graph.Graph, failed graph.LinkSet, loads []float64) int {
 }
 
 // Evaluate runs every scheme on every scenario for the given demand.
-// Scenarios are independent and evaluated concurrently on the shared
-// internal/par pool substrate; every result lands in its scenario's slot,
-// so the output order (and content) is independent of scheduling.
+// The scenario list is partitioned into contiguous shards (see Shards);
+// shards are independent and evaluated concurrently on the shared
+// internal/par pool substrate, scenarios within a shard serially in index
+// order. Every result lands in its scenario's slot, so the output order
+// (and content) is independent of scheduling, shard count, and worker
+// count.
 func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Result {
-	opt := &protect.Optimal{G: en.G, Iterations: en.OptimalIterations, Exact: en.ExactOptimal, Obs: en.Obs}
-	if en.ExactOptimal && len(scenarios) > 0 {
-		// Seed the warm-start basis from the no-failure scenario before
-		// any concurrency: the basis is published exactly once, so every
-		// worker re-solves from the same starting point regardless of
-		// scheduling, keeping results byte-identical across worker counts.
-		opt.Loads(graph.NewLinkSet(), d)
+	ranges := par.ShardRanges(len(scenarios), en.resolveShards(len(scenarios)))
+	opts := make([]*protect.Optimal, len(ranges))
+	for si := range opts {
+		opts[si] = &protect.Optimal{G: en.G, Iterations: en.OptimalIterations, Exact: en.ExactOptimal, Obs: en.Obs}
+		if en.ExactOptimal {
+			// Seed each shard's warm-start basis serially from its own
+			// no-failure solve before any concurrency. A cold-start LP
+			// solve is deterministic, so every shard publishes the same
+			// basis bits the single shared instance would have, and no
+			// shard's chain ever observes another shard's state: results
+			// are byte-identical across shard and worker counts.
+			opts[si].Loads(graph.NewLinkSet(), d)
+		}
 	}
 	results := make([]Result, len(scenarios))
 
@@ -274,39 +311,43 @@ func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Resul
 	})
 	live := en.Obs != nil
 	evalStart := time.Now()
+	en.Obs.Counter("eval.shards").Add(int64(len(ranges)))
 
 	pool := par.New(en.Workers)
-	// Warm lazily initialized scheme caches serially so the workers only
-	// read them.
-	if len(scenarios) > 0 && pool.Workers() > 1 {
+	// Warm lazily initialized scheme caches serially so the concurrent
+	// shards only read them. (A single shard is already serial.)
+	if len(ranges) > 1 && pool.Workers() > 1 {
 		for _, s := range en.Schemes {
 			s.Loads(scenarios[0], d)
 		}
 	}
 
-	pool.ForEach(len(scenarios), func(i int) {
-		start := time.Now()
-		sc := scenarios[i]
-		res := Result{
-			Scenario:   sc,
-			Bottleneck: make(map[string]float64, len(en.Schemes)),
-			Lost:       make(map[string]float64, len(en.Schemes)),
-		}
-		ol, _ := opt.Loads(sc, d)
-		res.Optimal = protect.Bottleneck(en.G, sc, ol)
-		for _, s := range en.Schemes {
-			loads, lost := s.Loads(sc, d)
-			res.Bottleneck[s.Name()] = protect.Bottleneck(en.G, sc, loads)
-			res.Lost[s.Name()] = lost
-			if live {
-				if e := bottleneckLink(g, sc, loads); e >= 0 {
-					bottle.Add(e, 1)
+	pool.ForEach(len(ranges), func(si int) {
+		opt := opts[si]
+		for i := ranges[si][0]; i < ranges[si][1]; i++ {
+			start := time.Now()
+			sc := scenarios[i]
+			res := Result{
+				Scenario:   sc,
+				Bottleneck: make(map[string]float64, len(en.Schemes)),
+				Lost:       make(map[string]float64, len(en.Schemes)),
+			}
+			ol, _ := opt.Loads(sc, d)
+			res.Optimal = protect.Bottleneck(en.G, sc, ol)
+			for _, s := range en.Schemes {
+				loads, lost := s.Loads(sc, d)
+				res.Bottleneck[s.Name()] = protect.Bottleneck(en.G, sc, loads)
+				res.Lost[s.Name()] = lost
+				if live {
+					if e := bottleneckLink(g, sc, loads); e >= 0 {
+						bottle.Add(e, 1)
+					}
 				}
 			}
+			results[i] = res
+			scenarioUS.Observe(time.Since(start).Microseconds())
+			scenarioCt.Inc()
 		}
-		results[i] = res
-		scenarioUS.Observe(time.Since(start).Microseconds())
-		scenarioCt.Inc()
 	})
 	if live && len(scenarios) > 0 {
 		if secs := time.Since(evalStart).Seconds(); secs > 0 {

@@ -58,6 +58,11 @@ type Options struct {
 	// iterations. Default false keeps the published experiment outputs
 	// unchanged; intended for small topologies.
 	ExactOpt bool
+	// Shards sets the evaluation engine's scenario shard count (see
+	// eval.Engine.Shards); 0 picks automatically. Results are
+	// byte-identical at every shard count, so this is purely a
+	// parallelism knob.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {

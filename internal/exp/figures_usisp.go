@@ -59,7 +59,7 @@ func Figure3(w *USISPWorkload, dayIdx int, o Options) *Figure3Result {
 	day := w.Day(dayIdx)
 	g, schemes := usispSchemes(w, day, 1, o)
 	events := eval.SingleEvents(g)
-	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, ExactOptimal: o.ExactOpt, Workers: o.Workers, Obs: o.Obs}
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, ExactOptimal: o.ExactOpt, Workers: o.Workers, Shards: o.Shards, Obs: o.Obs}
 
 	// Normalization constant: highest no-failure optimal bottleneck.
 	norm := 0.0
@@ -119,7 +119,7 @@ func Figure4(w *USISPWorkload, o Options) *Figure4Result {
 		dayTMs := w.Day(day)
 		g, schemes := usispSchemes(w, dayTMs, 1, o)
 		events := eval.SingleEvents(g)
-		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, ExactOptimal: o.ExactOpt, Workers: o.Workers, Obs: o.Obs}
+		en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, ExactOptimal: o.ExactOpt, Workers: o.Workers, Shards: o.Shards, Obs: o.Obs}
 		for _, d := range dayTMs {
 			results := en.Evaluate(d, events)
 			worst := eval.WorstCase(results)
@@ -186,7 +186,7 @@ func (r *MultiFailureResult) Print(w io.Writer) {
 // multiFailure evaluates sorted performance ratios for scenarios built
 // from base events.
 func multiFailure(title string, g *graph.Graph, schemes []protect.Scheme, d *traffic.Matrix, scenarios []graph.LinkSet, o Options) *MultiFailureResult {
-	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, ExactOptimal: o.ExactOpt, Workers: o.Workers, Obs: o.Obs}
+	en := &eval.Engine{G: g, Schemes: schemes, OptimalIterations: o.OptIter, ExactOptimal: o.ExactOpt, Workers: o.Workers, Shards: o.Shards, Obs: o.Obs}
 	results := en.Evaluate(d, scenarios)
 	res := &MultiFailureResult{Title: title, Schemes: schemeNames(schemes)}
 	for _, name := range res.Schemes {

@@ -38,18 +38,20 @@ func sumPhases(em *Emulator) (off, del, dr int64) {
 }
 
 // TestChaosDisabledMatchesPrePRGolden pins the default-configuration
-// emulation output to the exact values the emulator produced before the
-// chaos layer, the reliable flood and the invariant checker existed.
-// These constants were captured from the pre-PR tree: any drift means the
-// new layers are not inert when disabled.
+// emulation output to exact golden values: any drift means the chaos
+// layer, the reliable flood or the invariant checker are not inert when
+// disabled. The constants were originally captured from the pre-chaos
+// tree and re-pinned when the SPF kernel moved to canonical (salted)
+// tie-breaking, which legitimately changed which tied detour paths plans
+// carry (plan quality and all layering invariants are pinned elsewhere).
 func TestChaosDisabledMatchesPrePRGolden(t *testing.T) {
 	em := goldenScenario(t, Config{})
 	off, del, dr := sumPhases(em)
 	if em.CtrlBytes != 6400 {
 		t.Errorf("CtrlBytes = %d, pre-PR golden 6400", em.CtrlBytes)
 	}
-	if off != 57196500 || del != 56665500 || dr != 138000 {
-		t.Errorf("off/del/drop = %d/%d/%d, pre-PR golden 57196500/56665500/138000", off, del, dr)
+	if off != 57196500 || del != 56686500 || dr != 144000 {
+		t.Errorf("off/del/drop = %d/%d/%d, golden 57196500/56686500/144000", off, del, dr)
 	}
 	if len(em.RTT) != 15 {
 		t.Errorf("RTT samples = %d, pre-PR golden 15", len(em.RTT))
@@ -68,7 +70,7 @@ func TestChaosDisabledMatchesPrePRGolden(t *testing.T) {
 // goldenFingerprint is the canonical digest of the golden scenario with
 // chaos disabled (raw counters above are pinned independently, so a
 // serialization change and a behavior change are distinguishable).
-const goldenFingerprint uint64 = 0x0d0c0a20bdf80514
+const goldenFingerprint uint64 = 0x831742b7eddb5022
 
 // TestChaosDeterminism: two runs with identical (Seed, ChaosSeed) must be
 // byte-identical, chaos faults and all.

@@ -286,6 +286,30 @@ func Chunk(n, ci int) (lo, hi int) {
 	return lo, hi
 }
 
+// ShardRanges splits [0, n) into at most shards contiguous half-open
+// ranges [lo, hi), balanced to within one item. The grid is a pure
+// function of (n, shards) — never of the worker count — and ranges are
+// returned in ascending index order, so shard-structured loops that
+// process each range serially and write index-owned slots inherit the
+// package determinism contract. shards < 1 is treated as 1; shards > n
+// is clamped to n (every returned range is non-empty). n <= 0 returns nil.
+func ShardRanges(n, shards int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	out := make([][2]int, shards)
+	for s := 0; s < shards; s++ {
+		out[s] = [2]int{s * n / shards, (s + 1) * n / shards}
+	}
+	return out
+}
+
 // ForEachChunk splits [0, n) into the fixed grid of ChunkSize(n)-wide
 // chunks and runs fn(lo, hi) for each chunk. fn must only write state
 // owned by indices in [lo, hi).

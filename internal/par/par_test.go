@@ -212,3 +212,50 @@ func TestForEachCtxFirstErrorWins(t *testing.T) {
 		}
 	}
 }
+
+// TestShardRanges pins the shard partitioner: exact cover of [0, n) in
+// ascending order, balance within one item, clamping, and independence
+// from anything but (n, shards).
+func TestShardRanges(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 100, 1000} {
+		for _, shards := range []int{-1, 0, 1, 2, 3, 7, 32, 5000} {
+			ranges := ShardRanges(n, shards)
+			if n <= 0 {
+				if ranges != nil {
+					t.Fatalf("n=%d shards=%d: want nil, got %v", n, shards, ranges)
+				}
+				continue
+			}
+			want := shards
+			if want < 1 {
+				want = 1
+			}
+			if want > n {
+				want = n
+			}
+			if len(ranges) != want {
+				t.Fatalf("n=%d shards=%d: %d ranges, want %d", n, shards, len(ranges), want)
+			}
+			next, min, max := 0, n, 0
+			for _, r := range ranges {
+				if r[0] != next || r[1] <= r[0] {
+					t.Fatalf("n=%d shards=%d: bad range %v after %d", n, shards, r, next)
+				}
+				w := r[1] - r[0]
+				if w < min {
+					min = w
+				}
+				if w > max {
+					max = w
+				}
+				next = r[1]
+			}
+			if next != n {
+				t.Fatalf("n=%d shards=%d: ranges end at %d", n, shards, next)
+			}
+			if max-min > 1 {
+				t.Fatalf("n=%d shards=%d: unbalanced (min %d, max %d)", n, shards, min, max)
+			}
+		}
+	}
+}

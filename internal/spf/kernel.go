@@ -12,16 +12,32 @@ import (
 // caller-provided Scratch. With a warm Scratch a call performs zero heap
 // allocations.
 //
-// Bit-identity contract. The closure-based functions in spf.go are thin
-// wrappers over this kernel, and the planner's byte-identical-plans
-// guarantee rides on the pop order of equal-distance nodes: which of two
-// nodes at the same distance settles first decides which predecessor wins
-// a `nd < dist` tie-break, and therefore which Next link a path follows.
-// Equal keys are common in the planner (gradient costs share the +1e-12
-// floor wherever exp underflows to zero), so the kernel replicates
-// container/heap's binary sift-up/sift-down exactly — including its
-// swap-root-with-last Pop — rather than switching to a d-ary heap, whose
-// different (still valid) pop order would silently change plans.
+// Bit-identity contract. The planner's byte-identical-plans guarantee no
+// longer rides on heap pop order. Instead:
+//
+//   - Dist is the unique fixpoint dist[u] = min over alive out-links e of
+//     cost[e] ⊕ dist[Dst[e]], where ⊕ is one float64 add. Every candidate
+//     is a single rounding of cost[e] + dist[Dst[e]] anchored at dst, so
+//     the fixpoint — and therefore Dist — is independent of the algorithm
+//     that computed it (binary-heap Dijkstra, incremental repair, the
+//     delta-stepping bucket kernel).
+//   - Next is canonicalNextInto(Dist): a pure function of (csr, cost,
+//     down, Dist). For each node it picks the smallest-id tight link
+//     (dist[u] == cost[e] + dist[Dst[e]], exact float equality) whose head
+//     is strictly closer to the destination. Nodes whose only tight links
+//     stay at equal distance — possible only when a tight link's cost is
+//     absorbed to zero in the add, which the planner's +1e-12 cost floors
+//     make unreachable in practice — are resolved by a deterministic
+//     multi-pass sweep (see resolvePlateaus); pure local tie-breaking
+//     cannot resolve them without risking next-pointer cycles.
+//
+// Because (Dist, Next) is a pure function of the inputs, any exact SSSP
+// kernel in this package yields bitwise-identical results, which is what
+// lets the incremental DynTree repair and the delta-stepping variant swap
+// in for the flat kernel without changing a single plan byte. Equal keys
+// are common in the planner (gradient costs share the +1e-12 floor
+// wherever exp underflows to zero), so this independence is load-bearing,
+// not theoretical.
 
 // kItem is one heap entry: a tentative distance and the node it reaches.
 // Stale entries are skipped on pop (lazy deletion), exactly like the
@@ -41,7 +57,12 @@ type Scratch struct {
 	// node: the first link of a shortest path toward the destination, or
 	// -1 when unreachable (and at the destination itself).
 	Next []int32
-	heap []kItem
+	// Plateaus reports whether the last canonical-next derivation saw any
+	// plateau node (all tight links at equal distance). DynTree reads it:
+	// plateau resolution is a global multi-pass computation, so a repaired
+	// tree may re-derive Next per-node only when no plateaus exist.
+	Plateaus bool
+	heap     []kItem
 }
 
 // reset sizes the buffers for n nodes and initializes Dist to +Inf and
@@ -95,10 +116,12 @@ func siftDown(h []kItem, i int) {
 // SPFTo runs reverse Dijkstra toward dst over the CSR view: distances and
 // next links for every node are left in s.Dist and s.Next. cost[id] is the
 // nonnegative cost of link id; links in down (nil = none) are excluded.
-// Equivalent to DijkstraToWithNext bit for bit, without its allocations.
+// Dist is the unique shortest-distance fixpoint and Next is its canonical
+// next vector (see the contract at the top of this file), so every exact
+// kernel in this package returns bitwise-identical results.
 func SPFTo(c *graph.CSR, dst graph.NodeID, cost []float64, down *graph.LinkSet, s *Scratch) {
 	s.reset(c.N)
-	dist, next := s.Dist, s.Next
+	dist := s.Dist
 	dist[dst] = 0
 	h := append(s.heap[:0], kItem{0, int32(dst)})
 	for len(h) > 0 {
@@ -120,13 +143,128 @@ func SPFTo(c *graph.CSR, dst graph.NodeID, cost []float64, down *graph.LinkSet, 
 			nd := it.dist + cost[id]
 			if nd < dist[u] {
 				dist[u] = nd
-				next[u] = id
 				h = append(h, kItem{nd, u})
 				siftUp(h, len(h)-1)
 			}
 		}
 	}
 	s.heap = h[:0]
+	s.Plateaus = canonicalNextInto(c, dst, cost, down, dist, s.Next)
+}
+
+// tieKey orders tied tight links. A plain smallest-id rule would funnel
+// every tied path in the graph through the same low-id links — gradient
+// rows in the planner are tied at the 1e-12 floor across most cells, and
+// concentrating those detours measurably degrades protection quality — so
+// ties are broken by a deterministic per-node hash that spreads choices
+// across the link space while remaining a pure function of (u, id).
+func tieKey(u, id int32) uint32 {
+	return (uint32(id)*0x9E3779B1 ^ uint32(u)*0x85EBCA77) * 0x27D4EB2F
+}
+
+// canonicalLinkAt returns the canonical next link for node u given a
+// settled distance vector: the smallest-id alive out-link e that is tight
+// (dist[u] == cost[e] + dist[Dst[e]], exact float equality) with a head
+// strictly closer to the destination. plateau reports that u has only
+// equal-distance tight links, which the caller must resolve globally —
+// adopting one locally can create next-pointer cycles.
+func canonicalLinkAt(c *graph.CSR, u int32, cost []float64, down *graph.LinkSet, dist []float64) (link int32, plateau bool) {
+	du := dist[u]
+	best := int32(-1)
+	for a, b := c.OutHead[u], c.OutHead[u+1]; a < b; a++ {
+		id := c.OutLinks[a]
+		if down != nil && down.Contains(graph.LinkID(id)) {
+			continue
+		}
+		dv := dist[c.Dst[id]]
+		if dv >= du {
+			if dv == du && cost[id]+dv == du {
+				plateau = true
+			}
+			continue
+		}
+		if cost[id]+dv == du && (best < 0 || tieKey(u, id) < tieKey(u, best)) {
+			best = id
+		}
+	}
+	if best >= 0 {
+		return best, false
+	}
+	return -1, plateau
+}
+
+// canonicalNextInto derives the canonical next vector from a settled
+// distance vector. It is a pure function of (c, cost, down, dist) — it
+// carries no state from whichever algorithm computed dist — which is the
+// property that makes all kernels in this package bitwise-interchangeable.
+// next must have length c.N. The return reports whether any plateau node
+// was seen (see Scratch.Plateaus).
+func canonicalNextInto(c *graph.CSR, dst graph.NodeID, cost []float64, down *graph.LinkSet, dist []float64, next []int32) bool {
+	var plateaus []int32
+	for u := int32(0); u < int32(c.N); u++ {
+		if u == int32(dst) || dist[u] == Infinity {
+			next[u] = -1
+			continue
+		}
+		id, plateau := canonicalLinkAt(c, u, cost, down, dist)
+		next[u] = id
+		if plateau {
+			plateaus = append(plateaus, u)
+		}
+	}
+	if len(plateaus) > 0 {
+		resolvePlateaus(c, dst, cost, down, dist, next, plateaus)
+		return true
+	}
+	return false
+}
+
+// resolvePlateaus assigns next links to plateau nodes — nodes whose tight
+// links all stay at equal distance. A plateau node may adopt an
+// equal-distance tight link only once its head is resolved; sweeping the
+// (ascending-id) plateau list until a pass makes no progress yields a
+// deterministic, cycle-free assignment. Termination: each plateau node's
+// Dijkstra relaxation parent is an equal-distance node settled strictly
+// earlier, so the parent chain grounds out at a non-plateau node and every
+// pass resolves at least one plateau. The result depends only on
+// (c, cost, down, dist), never on settle order itself.
+func resolvePlateaus(c *graph.CSR, dst graph.NodeID, cost []float64, down *graph.LinkSet, dist []float64, next []int32, plateaus []int32) {
+	for len(plateaus) > 0 {
+		progress := false
+		rest := plateaus[:0]
+		for _, u := range plateaus {
+			du := dist[u]
+			best := int32(-1)
+			for a, b := c.OutHead[u], c.OutHead[u+1]; a < b; a++ {
+				id := c.OutLinks[a]
+				if down != nil && down.Contains(graph.LinkID(id)) {
+					continue
+				}
+				v := c.Dst[id]
+				if cost[id]+dist[v] != du {
+					continue
+				}
+				if v != int32(dst) && next[v] < 0 {
+					continue // head not yet resolved
+				}
+				if best < 0 || tieKey(u, id) < tieKey(u, best) {
+					best = id
+				}
+			}
+			if best >= 0 {
+				next[u] = best
+				progress = true
+			} else {
+				rest = append(rest, u)
+			}
+		}
+		if !progress {
+			// Unreachable for a true distance fixpoint; leave the
+			// remainder unresolved rather than loop forever.
+			return
+		}
+		plateaus = rest
+	}
 }
 
 // SPFFrom runs forward Dijkstra from src over the CSR view, leaving

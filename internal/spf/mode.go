@@ -1,0 +1,73 @@
+package spf
+
+import "fmt"
+
+// Mode selects which exact-SSSP kernel the planner drives. Every mode
+// returns bitwise-identical (Dist, Next) — the canonical-next contract at
+// the top of kernel.go makes the choice a pure wall-clock decision — so
+// plans are byte-identical whichever mode is active.
+type Mode int
+
+const (
+	// ModeAuto resolves per topology size: incremental repair with
+	// binary-heap full builds on small graphs, delta-stepping full
+	// builds on 1000-node-class graphs. The default.
+	ModeAuto Mode = iota
+	// ModeFlat is the reference path: a full heap Dijkstra on every
+	// call, no incremental repair anywhere. Differential tests compare
+	// the other modes against it.
+	ModeFlat
+	// ModeIncremental repairs the affected cone of the previous tree
+	// after each weight delta (Ramalingam–Reps style), rebuilding flat
+	// with the heap kernel past the cutover fraction.
+	ModeIncremental
+	// ModeDelta is ModeIncremental with delta-stepping bucket full
+	// builds, tuned for large generated topologies where the binary
+	// heap's log factor starts to bite.
+	ModeDelta
+)
+
+// deltaCutoverNodes is the topology size at which ModeAuto switches full
+// rebuilds from the binary heap to the delta-stepping bucket queue.
+const deltaCutoverNodes = 768
+
+// ParseMode maps a flag string (auto|flat|incremental|delta) to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "flat":
+		return ModeFlat, nil
+	case "incremental", "inc":
+		return ModeIncremental, nil
+	case "delta":
+		return ModeDelta, nil
+	}
+	return ModeAuto, fmt.Errorf("unknown spf mode %q (want auto|flat|incremental|delta)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeFlat:
+		return "flat"
+	case ModeIncremental:
+		return "incremental"
+	case ModeDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Resolve maps ModeAuto to a concrete mode for an n-node topology;
+// concrete modes pass through unchanged.
+func (m Mode) Resolve(n int) Mode {
+	if m != ModeAuto {
+		return m
+	}
+	if n >= deltaCutoverNodes {
+		return ModeDelta
+	}
+	return ModeIncremental
+}

@@ -88,6 +88,17 @@ func Generated() *graph.Graph {
 	return transitStub("Generated", 10, 9, 460, 11)
 }
 
+// Generated1K returns a 1000-router, 5000-directed-link transit-stub
+// backbone — the scale target for the incremental-SPF and sharded-eval
+// paths, one order of magnitude past the paper's Table 1. It is a
+// planner/eval stress preset, deliberately absent from the Table 1
+// catalog. Pair it with traffic.GravityTopK: a dense gravity matrix at
+// this size means ~10^6 commodities, far past what the protection-matrix
+// formulation is meant to carry.
+func Generated1K() *graph.Graph {
+	return transitStub("Generated1K", 40, 24, 5000, 17)
+}
+
 // USISP returns the synthetic tier-1 PoP network standing in for the
 // paper's proprietary US-ISP topology: 20 PoPs, 102 directed links,
 // heterogeneous OC48/OC192/OC768 capacities, SRLGs modeling shared fiber

@@ -182,3 +182,24 @@ func TestPositiveDelaysAndCapacities(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerated1KShape pins the 1000-node stress preset: exact node and
+// link counts, connectivity, and absence from the Table 1 catalog (it is
+// a scale target, not a paper topology).
+func TestGenerated1KShape(t *testing.T) {
+	g := Generated1K()
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d, want 1000", g.NumNodes())
+	}
+	if g.NumLinks() != 5000 {
+		t.Fatalf("links = %d, want 5000", g.NumLinks())
+	}
+	if !g.Connected(nil) {
+		t.Fatal("Generated1K not connected")
+	}
+	for _, tc := range table1 {
+		if tc.name == "Generated1K" {
+			t.Fatal("Generated1K must stay out of the Table 1 catalog")
+		}
+	}
+}

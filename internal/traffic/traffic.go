@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -183,6 +184,47 @@ func Gravity(g *graph.Graph, total float64, seed int64) *Matrix {
 	}
 	if raw > 0 {
 		m.Scale(total / raw)
+	}
+	return m
+}
+
+// GravityTopK synthesizes a sparse gravity matrix: the same node masses
+// and pair weights as Gravity, but only the k heaviest OD pairs carry
+// demand, rescaled so total demand equals total. Ties break toward the
+// lower pair index, so the support is a pure function of (g, seed, k).
+// This is the only tractable way to drive 1000-node-class topologies: a
+// dense gravity matrix there means ~10^6 commodities, and the planner's
+// per-commodity state scales with support size, not node count.
+func GravityTopK(g *graph.Graph, total float64, seed int64, k int) *Matrix {
+	dense := Gravity(g, total, seed)
+	n := dense.N
+	if k <= 0 || k >= n*(n-1) {
+		return dense
+	}
+	idx := make([]int32, 0, n*(n-1))
+	for i, v := range dense.d {
+		if v > 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := dense.d[idx[a]], dense.d[idx[b]]
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	m := NewMatrix(n)
+	var kept float64
+	for _, i := range idx[:k] {
+		m.d[i] = dense.d[i]
+		kept += dense.d[i]
+	}
+	if kept > 0 {
+		m.Scale(total / kept)
 	}
 	return m
 }

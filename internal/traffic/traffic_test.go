@@ -228,3 +228,47 @@ func TestScaleQuickNonNegative(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGravityTopK pins the sparse gravity contract: exactly k pairs in
+// the support, total preserved, the support is the k heaviest dense
+// pairs, and the result is deterministic per seed.
+func TestGravityTopK(t *testing.T) {
+	g := topo.Abilene()
+	const total, seed, k = 500.0, 3, 12
+	dense := Gravity(g, total, seed)
+	sparse := GravityTopK(g, total, seed, k)
+	if got := sparse.NumPairs(); got != k {
+		t.Fatalf("support = %d pairs, want %d", got, k)
+	}
+	if math.Abs(sparse.Total()-total) > 1e-9*total {
+		t.Fatalf("total = %v, want %v", sparse.Total(), total)
+	}
+	// Every kept pair must be at least as heavy (pre-rescale) as every
+	// dropped pair.
+	minKept, maxDropped := math.Inf(1), 0.0
+	for a := 0; a < dense.N; a++ {
+		for b := 0; b < dense.N; b++ {
+			if a == b {
+				continue
+			}
+			dv := dense.At(graph.NodeID(a), graph.NodeID(b))
+			if sparse.At(graph.NodeID(a), graph.NodeID(b)) > 0 {
+				if dv < minKept {
+					minKept = dv
+				}
+			} else if dv > maxDropped {
+				maxDropped = dv
+			}
+		}
+	}
+	if minKept < maxDropped {
+		t.Fatalf("kept pair weight %v below dropped pair weight %v", minKept, maxDropped)
+	}
+	if GravityTopK(g, total, seed, k).Fingerprint() != sparse.Fingerprint() {
+		t.Fatal("GravityTopK not deterministic")
+	}
+	// k past the support degenerates to the dense matrix.
+	if GravityTopK(g, total, seed, 0).Fingerprint() != dense.Fingerprint() {
+		t.Fatal("k<=0 should return the dense gravity matrix")
+	}
+}
