@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw bench-spf profile-fw fuzz-smoke chaos transition swap daemon
+.PHONY: all build vet test race bench bench-parallel bench-lp bench-fw bench-spf profile-fw fuzz-smoke chaos transition swap daemon degrade
 
 all: build vet test
 
@@ -91,8 +91,23 @@ daemon: vet
 	$(GO) test -race -count=1 ./internal/controlplane
 	$(GO) build -o r3d ./cmd/r3d
 
+# degrade runs the generalized-scenario suite under the race detector —
+# degradation-envelope property tests and polytope differentials,
+# hard-failure byte-identity gates, workload-grammar parsers, scenario
+# evaluation and emulator degradation — plus a quick sweep, mirroring
+# the CI workload-smoke job.
+degrade: vet
+	$(GO) test -race -count=1 -run 'TestDegradation|TestScenario|TestSurge|TestWorkload|TestParse|TestVerify|TestEnumerate|TestSample|TestApplyScenario|TestEffectiveKind|TestNodeScenario' ./internal/core
+	$(GO) test -race -count=1 -run 'TestCapScale' ./internal/mcf
+	$(GO) test -race -count=1 -run 'TestEvaluateScenarios|TestBottleneckScaled|TestScenarioScheme' ./internal/eval
+	$(GO) test -race -count=1 -run 'TestDegrade' ./internal/netem
+	$(GO) test -race -count=1 -run 'TestDegradationSweep' ./internal/exp
+	$(GO) test -race -count=1 -run 'TestScenarioEndpoint' ./internal/controlplane
+	$(GO) run ./cmd/r3sim -exp degrade -quick
+
 # fuzz-smoke runs each fuzz target briefly, mirroring the CI job.
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/topo
 	$(GO) test -fuzz '^FuzzParseMatrix$$' -fuzztime 10s ./internal/traffic
 	$(GO) test -fuzz '^FuzzLPDifferential$$' -fuzztime 10s ./internal/lp
+	$(GO) test -fuzz '^FuzzWorkloadSpec$$' -fuzztime 10s ./internal/core

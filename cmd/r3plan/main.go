@@ -34,6 +34,12 @@ func main() {
 		file      = flag.String("file", "", "load a topology file instead of a built-in")
 		tmFile    = flag.String("tm", "", "load a traffic matrix file instead of gravity demands")
 		f         = flag.Int("f", 1, "number of overlapping link failures to protect against")
+		alpha     = flag.Float64("degrade", 1, "per-link capacity floor alpha; < 1 protects the degradation envelope X_D instead of X_F")
+		budget    = flag.Float64("budget", 1, "degradation budget B (total degraded capacity fraction) for -degrade")
+		surge     = flag.Float64("surge", 0, "traffic-surge envelope scale (> 1 folds a surged matrix into the protection bound; FW solver)")
+		surgeFrac = flag.Float64("surgefrac", 1, "fraction of OD pairs covered by -surge (heaviest first)")
+		workload  = flag.String("workload", "", `combined workload spec, e.g. "alpha=0.5,budget=2,surge=1.5,odfrac=0.25" (overrides -degrade/-budget/-surge/-surgefrac)`)
+		degrLinks = flag.String("degradelinks", "", `comma-separated link:frac partial losses to apply online, e.g. "3:0.5,7:0.25" (combines with -fail)`)
 		total     = flag.Float64("total", 0, "total demand in Mbps (default: 15% of capacity)")
 		effort    = flag.Int("effort", 200, "solver effort")
 		workers   = flag.Int("workers", 0, "solver worker goroutines (0 = all CPUs, 1 = serial; same plan either way)")
@@ -116,6 +122,22 @@ func main() {
 		fatal(fmt.Errorf("unknown -base %q (want opt|ospf)", *baseMode))
 	}
 
+	// Resolve the workload envelope: -workload wins over the individual
+	// flags; the zero spec keeps classic hard-failure protection.
+	spec := core.WorkloadSpec{Alpha: *alpha, Budget: *budget, Surge: *surge, ODFrac: *surgeFrac}
+	if *workload != "" {
+		spec, err = core.ParseWorkloadSpec(*workload)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if !spec.Degrades() {
+		spec.Budget = 0
+	}
+	if spec.Surges() && spec.ODFrac == 0 {
+		spec.ODFrac = 1
+	}
+
 	var plan *core.Plan
 	if *load != "" {
 		r, err := os.Open(*load)
@@ -129,9 +151,15 @@ func main() {
 		}
 		fmt.Printf("loaded plan: MLU over d+X = %.4f (normal %.4f)\n", plan.MLU, plan.NormalMLU)
 	} else {
-		fmt.Printf("precomputing R3 plan for %s, F=%d...\n", g.Name, *f)
+		model := spec.Model(core.ArbitraryFailures{F: *f})
+		if s := spec.String(); s != "" {
+			fmt.Printf("precomputing R3 plan for %s, %v (%s)...\n", g.Name, model, s)
+		} else {
+			fmt.Printf("precomputing R3 plan for %s, F=%d...\n", g.Name, *f)
+		}
 		plan, err = core.Precompute(g, d, core.Config{
-			Model:           core.ArbitraryFailures{F: *f},
+			Model:           model,
+			Surge:           spec.SurgeSpec(),
 			BaseRouting:     baseFlow,
 			Iterations:      *effort,
 			PenaltyEnvelope: *envelope,
@@ -142,7 +170,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("plan MLU over d+X%d = %.4f (normal case %.4f)\n", *f, plan.MLU, plan.NormalMLU)
+		fmt.Printf("plan MLU over d+X = %.4f (normal case %.4f)\n", plan.MLU, plan.NormalMLU)
 	}
 	if plan.CongestionFree() {
 		fmt.Println("certificate: congestion-free under every covered failure scenario (Theorem 1)")
@@ -179,6 +207,22 @@ func main() {
 		}
 		fmt.Printf("\naudit over %d scenarios (up to %d failures): worst MLU %.4f at %v, %d partitions, %d violations of the plan bound\n",
 			rep.Scenarios, *verify, rep.WorstMLU, rep.WorstScenario, rep.Partitions, rep.Violations)
+		// A degradation-protected plan is additionally audited against
+		// sampled in-budget degradations, node outages, and — when a surge
+		// envelope was requested — the surged matrix itself.
+		if dm, ok := plan.Model.(core.DegradationModel); ok {
+			scs := core.SampleDegradations(g, dm, 64, *seed)
+			scs = append(scs, core.NodeScenarios(g)...)
+			if spec.Surges() {
+				scs = append(scs, spec.SurgeSpec().Scenario(d))
+			}
+			rep, err := plan.VerifyScenarios(scs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("envelope audit over %d scenarios (%v): worst MLU %.4f at %s, %d partitions, %d violations\n",
+				rep.Scenarios, rep.ByKind, rep.WorstMLU, rep.Worst.Describe(), rep.Partitions, rep.Violations)
+		}
 	}
 
 	if *swapTo != "" {
@@ -194,21 +238,36 @@ func main() {
 		printSwap(plan, next, reg)
 	}
 
-	if *fail != "" {
+	if *fail != "" || *degrLinks != "" {
 		st := core.NewState(plan)
 		var failed []graph.LinkID
-		for _, tok := range strings.Split(*fail, ",") {
-			id, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || id < 0 || id >= g.NumLinks() {
-				fatal(fmt.Errorf("bad link id %q", tok))
+		if *fail != "" {
+			for _, tok := range strings.Split(*fail, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil || id < 0 || id >= g.NumLinks() {
+					fatal(fmt.Errorf("bad link id %q", tok))
+				}
+				failed = append(failed, graph.LinkID(id))
 			}
-			failed = append(failed, graph.LinkID(id))
+			if err := st.FailAll(failed...); err != nil {
+				fatal(err)
+			}
 		}
-		if err := st.FailAll(failed...); err != nil {
+		degraded, err := core.ParseDegradations(*degrLinks, g.NumLinks())
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nafter failing %v: MLU = %.4f, lost demand %.2f Mbps\n",
-			failed, st.MLU(), st.LostDemand())
+		for _, dg := range degraded {
+			if err := st.Degrade(dg.Link, dg.Frac); err != nil {
+				fatal(err)
+			}
+		}
+		what := fmt.Sprintf("failing %v", failed)
+		if len(degraded) > 0 {
+			what += fmt.Sprintf(" and degrading %q", *degrLinks)
+		}
+		fmt.Printf("\nafter %s: MLU = %.4f, lost demand %.2f Mbps\n",
+			what, st.MLU(), st.LostDemand())
 		if *detours {
 			for _, e := range failed {
 				l := g.Link(e)

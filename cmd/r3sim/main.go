@@ -18,13 +18,14 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		which      = flag.String("exp", "table1", "experiment: table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation")
+		which      = flag.String("exp", "table1", "experiment: table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|degrade")
 		failures   = flag.Int("failures", 2, "failure count for fig5/fig6/fig7 (2 or 3)")
 		day        = flag.Int("day", 1, "day index for fig3 (0-6)")
 		effort     = flag.Int("effort", 0, "precompute effort (0 = default)")
@@ -32,6 +33,10 @@ func main() {
 		scenarios  = flag.Int("scenarios", 0, "max sampled scenarios")
 		days       = flag.Int("days", 0, "days for week-scale experiments")
 		beta       = flag.Float64("beta", 1.1, "penalty envelope for fig9")
+		degrade    = flag.Float64("degrade", 0.5, "degradation capacity floor alpha for -exp degrade")
+		budget     = flag.Float64("budget", 1, "degradation budget B for -exp degrade")
+		surge      = flag.Float64("surge", 0, "surge scale for -exp degrade (0 = no surge)")
+		surgeFrac  = flag.Float64("surgefrac", 1, "fraction of OD pairs surged")
 		seed       = flag.Int64("seed", 1, "random seed")
 		shards     = flag.Int("shards", 0, "evaluation scenario shards (0 = auto; identical results at any count)")
 		quick      = flag.Bool("quick", false, "reduced-scale smoke run")
@@ -94,6 +99,12 @@ func main() {
 		exp.Figure9(exp.NewUSISP(o), *beta, o).Print(w)
 	case "fig10":
 		exp.Figure10(exp.NewUSISP(o), o).Print(w)
+	case "degrade":
+		spec := core.WorkloadSpec{Alpha: *degrade, Budget: *budget}
+		if *surge > 1 {
+			spec.Surge, spec.ODFrac = *surge, *surgeFrac
+		}
+		exp.DegradationSweep(spec, o).Print(w)
 	case "ablation":
 		exp.SolverGap(o).Print(w)
 		exp.PrintEnvelopeSweep(w, exp.EnvelopeSweep([]float64{1.0, 1.05, 1.1, 1.2, math.Inf(1)}, o))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -375,9 +376,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(rev.Bytes)
 }
 
-// handleScenario evaluates a hypothetical failure set against the active
-// plan: R3 online reconfiguration (never mutating the served plan), plus
-// an optional staged-rounds preview with &stage=1.
+// handleScenario evaluates a hypothetical scenario against the active
+// plan: hard failures (?links=3,17), partial capacity degradations
+// (?degrade=3:0.5,7:0.25) and demand surges (?surge=1.5), in any
+// combination, replayed through R3 online reconfiguration (never mutating
+// the served plan), plus an optional staged-rounds preview with &stage=1
+// (hard failures only).
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	rev := s.store.Active()
 	if rev == nil {
@@ -385,21 +389,42 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	linksArg := r.URL.Query().Get("links")
-	if linksArg == "" {
-		writeError(w, http.StatusBadRequest, "links parameter required")
+	degradeArg := r.URL.Query().Get("degrade")
+	surgeArg := r.URL.Query().Get("surge")
+	if linksArg == "" && degradeArg == "" && surgeArg == "" {
+		writeError(w, http.StatusBadRequest, "links, degrade or surge parameter required")
 		return
 	}
 	var links []graph.LinkID
-	for _, tok := range strings.Split(linksArg, ",") {
-		id, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil || id < 0 || id >= rev.Plan.G.NumLinks() {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad link id %q", tok))
+	if linksArg != "" {
+		for _, tok := range strings.Split(linksArg, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || id < 0 || id >= rev.Plan.G.NumLinks() {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad link id %q", tok))
+				return
+			}
+			links = append(links, graph.LinkID(id))
+		}
+	}
+	degraded, err := core.ParseDegradations(degradeArg, rev.Plan.G.NumLinks())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	surgeScale := 0.0
+	if surgeArg != "" {
+		surgeScale, err = strconv.ParseFloat(surgeArg, 64)
+		if err != nil || math.IsNaN(surgeScale) || math.IsInf(surgeScale, 0) || surgeScale <= 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("surge %q must be a finite number > 1", surgeArg))
 			return
 		}
-		links = append(links, graph.LinkID(id))
+	}
+	sc := core.Scenario{
+		Failed: graph.NewLinkSet(links...), Node: -1,
+		Degraded: degraded, SurgeScale: surgeScale,
 	}
 	st := core.NewState(rev.Plan)
-	if err := st.FailAll(links...); err != nil {
+	if err := st.ApplyScenario(sc); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -407,11 +432,22 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"revision":        rev.ID,
 		"links":           links,
+		"kind":            string(sc.EffectiveKind()),
 		"mlu":             mlu,
 		"lost_demand":     st.LostDemand(),
 		"congestion_free": mlu <= 1+1e-9,
 	}
+	if len(degraded) > 0 {
+		resp["degraded"] = degraded
+	}
+	if surgeScale > 1 {
+		resp["surge"] = surgeScale
+	}
 	if r.URL.Query().Get("stage") != "" {
+		if len(degraded) > 0 || surgeScale > 1 {
+			writeError(w, http.StatusBadRequest, "staged preview supports hard failures only")
+			return
+		}
 		seq, err := transition.Schedule(rev.Plan, links, transition.Options{
 			SkipCertify: r.URL.Query().Get("certify") == "",
 			Obs:         s.reg,

@@ -32,11 +32,16 @@ type wireCommodity struct {
 }
 
 type wireModel struct {
-	Type  string           `json:"type"` // "arbitrary" or "group"
+	Type  string           `json:"type"` // "arbitrary", "group" or "degradation"
 	F     int              `json:"f,omitempty"`
 	K     int              `json:"k,omitempty"`
 	SRLGs [][]graph.LinkID `json:"srlgs,omitempty"`
 	MLGs  [][]graph.LinkID `json:"mlgs,omitempty"`
+	// Degradation-envelope parameters; every field is omitempty, so
+	// classic plans serialize to the exact pre-degradation bytes.
+	Beta     float64   `json:"beta,omitempty"`
+	Budget   float64   `json:"budget,omitempty"`
+	LinkBeta []float64 `json:"link_beta,omitempty"`
 }
 
 type wirePlan struct {
@@ -67,6 +72,8 @@ func (p *Plan) Encode(w io.Writer) error {
 		wp.Model = wireModel{Type: "arbitrary", F: m.F}
 	case GroupFailures:
 		wp.Model = wireModel{Type: "group", K: m.K, SRLGs: m.SRLGs, MLGs: m.MLGs}
+	case DegradationModel:
+		wp.Model = wireModel{Type: "degradation", Beta: m.Beta, Budget: m.Budget, LinkBeta: m.LinkBeta}
 	default:
 		return fmt.Errorf("core: cannot encode failure model %T", p.Model)
 	}
@@ -138,6 +145,12 @@ func DecodePlan(r io.Reader, g *graph.Graph) (*Plan, error) {
 		model = ArbitraryFailures{F: wp.Model.F}
 	case "group":
 		model = GroupFailures{K: wp.Model.K, SRLGs: wp.Model.SRLGs, MLGs: wp.Model.MLGs}
+	case "degradation":
+		dm := DegradationModel{Beta: wp.Model.Beta, Budget: wp.Model.Budget, LinkBeta: wp.Model.LinkBeta}
+		if err := dm.Validate(); err != nil {
+			return nil, fmt.Errorf("core: decoded degradation model invalid: %v", err)
+		}
+		model = dm
 	default:
 		return nil, fmt.Errorf("core: unknown failure model %q", wp.Model.Type)
 	}

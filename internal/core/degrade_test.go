@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDegradationModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    DegradationModel
+		ok   bool
+	}{
+		{"uniform", DegradationModel{Beta: 0.5, Budget: 1}, true},
+		{"beta one", DegradationModel{Beta: 1, Budget: 2}, true},
+		{"beta zero", DegradationModel{Beta: 0, Budget: 1}, true},
+		{"per-link", DegradationModel{Beta: 0.5, Budget: 1, LinkBeta: []float64{0, 0.3, 1}}, true},
+		{"beta negative", DegradationModel{Beta: -0.1, Budget: 1}, false},
+		{"beta above one", DegradationModel{Beta: 1.1, Budget: 1}, false},
+		{"beta NaN", DegradationModel{Beta: math.NaN(), Budget: 1}, false},
+		{"budget zero", DegradationModel{Beta: 0.5, Budget: 0}, false},
+		{"budget negative", DegradationModel{Beta: 0.5, Budget: -1}, false},
+		{"budget NaN", DegradationModel{Beta: 0.5, Budget: math.NaN()}, false},
+		{"budget Inf", DegradationModel{Beta: 0.5, Budget: math.Inf(1)}, false},
+		{"link beta negative", DegradationModel{Beta: 0.5, Budget: 1, LinkBeta: []float64{-0.2}}, false},
+		{"link beta above one", DegradationModel{Beta: 0.5, Budget: 1, LinkBeta: []float64{1.5}}, false},
+		{"link beta NaN", DegradationModel{Beta: 0.5, Budget: 1, LinkBeta: []float64{math.NaN()}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() accepted invalid model %+v", tc.name, tc.m)
+		}
+	}
+}
+
+func TestDegradationDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    DegradationModel
+		f    int
+		ok   bool
+	}{
+		{"single failure", DegradationModel{Beta: 1, Budget: 1}, 1, true},
+		{"triple failure", DegradationModel{Beta: 1, Budget: 3}, 3, true},
+		{"fractional budget", DegradationModel{Beta: 1, Budget: 1.5}, 0, false},
+		{"partial beta", DegradationModel{Beta: 0.9, Budget: 1}, 0, false},
+		{"sub-unit budget", DegradationModel{Beta: 1, Budget: 0.5}, 0, false},
+		{"per-link beta", DegradationModel{Beta: 1, Budget: 1, LinkBeta: []float64{1, 1}}, 0, false},
+		{"huge budget", DegradationModel{Beta: 1, Budget: 1 << 31}, 0, false},
+	}
+	for _, tc := range cases {
+		f, ok := tc.m.degenerate()
+		if ok != tc.ok || (ok && f != tc.f) {
+			t.Errorf("%s: degenerate() = (%d, %v), want (%d, %v)", tc.name, f, ok, tc.f, tc.ok)
+		}
+	}
+}
+
+// TestDegradationWorstLoadMatchesTopK pins the hard-failure limit: with
+// uniform β = 1 and an integer budget F < len(v), the fractional knapsack
+// takes F whole links in the exact order sumTopK sums them, so WorstLoad
+// must equal sumTopK bit for bit — the property the byte-identity of
+// canonicalized plans rests on.
+func TestDegradationWorstLoadMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(8)
+		f := 1 + rng.Intn(3)
+		if f >= n {
+			f = n - 1
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() * 100
+			if rng.Intn(6) == 0 {
+				v[i] = 0 // exercise the positive-value filter
+			}
+			if rng.Intn(7) == 0 && i > 0 {
+				v[i] = v[i-1] // exercise the index tie-break
+			}
+		}
+		m := DegradationModel{Beta: 1, Budget: float64(f)}
+		got := m.WorstLoad(v)
+		want := sumTopK(v, f, nil)
+		if got != want {
+			t.Fatalf("trial %d (n=%d f=%d): WorstLoad = %v, sumTopK = %v (diff %g)",
+				trial, n, f, got, want, got-want)
+		}
+	}
+}
+
+// bruteWorst maximizes Σ u_l·v_l over the degradation polytope by
+// enumerating its extreme points: a set S of β-saturated links plus at
+// most one fractional link consuming the remaining budget (every vertex
+// of {0 ≤ u ≤ β, Σu ≤ B} has at most one coordinate strictly between its
+// bounds).
+func bruteWorst(m DegradationModel, v []float64) float64 {
+	n := len(v)
+	best := 0.0
+	for bits := 0; bits < 1<<n; bits++ {
+		var sumBeta, val float64
+		feasible := true
+		for l := 0; l < n; l++ {
+			if bits&(1<<l) == 0 {
+				continue
+			}
+			b := m.beta(l)
+			if b <= 0 {
+				feasible = false
+				break
+			}
+			sumBeta += b
+			val += b * v[l]
+		}
+		if !feasible || sumBeta > m.Budget+1e-12 {
+			continue
+		}
+		if val > best {
+			best = val
+		}
+		rem := m.Budget - sumBeta
+		if rem <= 0 {
+			continue
+		}
+		for f := 0; f < n; f++ {
+			if bits&(1<<f) != 0 {
+				continue
+			}
+			u := m.beta(f)
+			if u > rem {
+				u = rem
+			}
+			if u <= 0 {
+				continue
+			}
+			if x := val + u*v[f]; x > best {
+				best = x
+			}
+		}
+	}
+	return best
+}
+
+// TestDegradationBruteForce is the polytope-extreme-point differential:
+// the greedy knapsack (plus anchor) must match exhaustive enumeration.
+func TestDegradationBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7) // ≤ 8 links keeps 2^n·n enumeration instant
+		m := DegradationModel{
+			Beta:   0.1 + 0.9*rng.Float64(),
+			Budget: 0.2 + 3*rng.Float64(),
+		}
+		if rng.Intn(3) == 0 {
+			lb := make([]float64, n)
+			for i := range lb {
+				lb[i] = rng.Float64()
+				if rng.Intn(5) == 0 {
+					lb[i] = 0
+				}
+			}
+			m.LinkBeta = lb
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() * 50
+		}
+		want := bruteWorst(m, v)
+		// The anchor keeps full single-failure coverage on top of the
+		// knapsack; fold it into the expectation the same way.
+		for l := 0; l < n; l++ {
+			if m.beta(l) > 0 && v[l] > 0 && v[l] > want {
+				want = v[l]
+			}
+		}
+		got := m.WorstLoad(v)
+		if math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("trial %d: WorstLoad = %.15g, brute force = %.15g (model %+v, v %v)",
+				trial, got, want, m, v)
+		}
+	}
+}
+
+// TestDegradationActiveSet checks the subgradient the Frank–Wolfe step
+// consumes: the marked fractions must reproduce WorstLoad exactly and
+// respect the polytope bounds — except in the anchor regime, where a
+// single link is marked at full strength by design.
+func TestDegradationActiveSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(8)
+		m := DegradationModel{
+			Beta:   0.2 + 0.8*rng.Float64(),
+			Budget: 0.3 + 2.5*rng.Float64(),
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() * 20
+		}
+		worst := m.WorstLoad(v)
+		y := make([]float64, n)
+		m.ActiveSet(v, y)
+		var dot, total float64
+		anchored := false
+		for l, u := range y {
+			if u < 0 {
+				t.Fatalf("trial %d: negative fraction y[%d] = %v", trial, l, u)
+			}
+			if u == 1 && m.beta(l) < 1 {
+				anchored = true
+			} else if u > m.beta(l)+1e-12 {
+				t.Fatalf("trial %d: y[%d] = %v exceeds beta %v", trial, l, u, m.beta(l))
+			}
+			dot += u * v[l]
+			total += u
+		}
+		if anchored {
+			// Anchor regime: exactly one link marked whole.
+			if total != 1 {
+				t.Fatalf("trial %d: anchor marked more than one link (Σy = %v)", trial, total)
+			}
+		} else if total > m.Budget+1e-12 {
+			t.Fatalf("trial %d: Σy = %v exceeds budget %v", trial, total, m.Budget)
+		}
+		if math.Abs(dot-worst) > 1e-12*(1+worst) {
+			t.Fatalf("trial %d: y·v = %.15g, WorstLoad = %.15g", trial, dot, worst)
+		}
+	}
+}
+
+// TestDegradationAnchorWins pins the regime where a tight budget or β cap
+// keeps the knapsack below one full link: the anchor must take over with
+// the single most valuable degradable link at full strength.
+func TestDegradationAnchorWins(t *testing.T) {
+	m := DegradationModel{Beta: 0.3, Budget: 0.5}
+	v := []float64{10, 1, 2, 3}
+	// Knapsack: 0.3·10 + 0.2·3 = 3.6 < anchor 10.
+	if got := m.WorstLoad(v); got != 10 {
+		t.Fatalf("WorstLoad = %v, want anchor 10", got)
+	}
+	y := make([]float64, len(v))
+	m.ActiveSet(v, y)
+	want := []float64{1, 0, 0, 0}
+	for l := range y {
+		if y[l] != want[l] {
+			t.Fatalf("ActiveSet = %v, want %v", y, want)
+		}
+	}
+	if mf := m.MaxFailures(); mf != 1 {
+		t.Fatalf("MaxFailures = %d, want 1", mf)
+	}
+	if mf := (DegradationModel{Beta: 0.5, Budget: 3.7}).MaxFailures(); mf != 3 {
+		t.Fatalf("MaxFailures = %d, want 3", mf)
+	}
+}
+
+func TestDegradationWorstLoadEdgeCases(t *testing.T) {
+	m := DegradationModel{Beta: 0.5, Budget: 1}
+	if got := m.WorstLoad(nil); got != 0 {
+		t.Fatalf("WorstLoad(nil) = %v", got)
+	}
+	if got := m.WorstLoad([]float64{0, 0, -3}); got != 0 {
+		t.Fatalf("WorstLoad(non-positive) = %v", got)
+	}
+	// A link with β = 0 can never degrade, even when most valuable.
+	m2 := DegradationModel{Beta: 0.5, Budget: 1, LinkBeta: []float64{0, 0.5}}
+	if got, want := m2.WorstLoad([]float64{100, 4}), 4.0; got != want {
+		t.Fatalf("WorstLoad with zero-beta top link = %v, want %v", got, want)
+	}
+	// LinkBeta shorter than v: out-of-range links cannot degrade.
+	m3 := DegradationModel{Beta: 1, Budget: 1, LinkBeta: []float64{1}}
+	if got, want := m3.WorstLoad([]float64{2, 50}), 2.0; got != want {
+		t.Fatalf("WorstLoad beyond LinkBeta = %v, want %v", got, want)
+	}
+}

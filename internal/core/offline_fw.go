@@ -83,6 +83,12 @@ type Config struct {
 	// is byte-identical whichever mode is active — SPF trades only
 	// wall-clock time. The LP solver ignores it.
 	SPF spf.Mode
+	// Surge, when non-nil, folds a traffic-surge envelope into the
+	// protection bound: for every input matrix, the surged variant (top
+	// Surge.Frac OD pairs scaled by Surge.Scale) is added as an extra
+	// vertex of the demand hull, so the plan is congestion-free for every
+	// partial surge up to Scale as well (convexity). FW solver only.
+	Surge *SurgeSpec
 }
 
 // Priority couples one traffic class with the number of failures it must
@@ -110,6 +116,33 @@ func PrecomputeVariations(g *graph.Graph, ds []*traffic.Matrix, cfg Config) (*Pl
 	}
 	if cfg.Model == nil {
 		cfg.Model = ArbitraryFailures{F: 1}
+	}
+	if dm, ok := cfg.Model.(DegradationModel); ok {
+		if err := dm.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		// Canonicalize the hard-failure limit (uniform β = 1, integer
+		// budget) to the classic model before dispatch: the solvers' fast
+		// paths, the LP branch and every golden plan stay byte-identical.
+		if f, ok := dm.degenerate(); ok {
+			cfg.Model = ArbitraryFailures{F: f}
+		}
+	}
+	if cfg.Surge != nil {
+		if err := cfg.Surge.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		if cfg.Solver == SolverLP {
+			return nil, errors.New("core: surge envelopes require the FW solver (the LP builds a single-matrix program)")
+		}
+		// Fold each matrix's surged variant into the demand hull as an
+		// extra vertex; convexity then covers every partial surge.
+		withSurge := make([]*traffic.Matrix, 0, 2*len(ds))
+		withSurge = append(withSurge, ds...)
+		for _, d := range ds {
+			withSurge = append(withSurge, cfg.Surge.Apply(d))
+		}
+		ds = withSurge
 	}
 	if cfg.Solver == SolverLP {
 		if len(ds) != 1 {

@@ -14,14 +14,31 @@ import (
 
 // precomputeLP builds the paper's LP (7) — with dual multipliers π_e(l)
 // and λ_e replacing the inner maximization over X_F — and solves it
-// exactly. Only the ArbitraryFailures model is supported (the structured
-// model (18) is handled by the FW solver).
+// exactly. ArbitraryFailures and DegradationModel are supported (the
+// structured model (18) is handled by the FW solver).
+//
+// For the degradation envelope X_D the inner maximization per link e is
+// the fractional knapsack max Σ u_l·c_l·p_l(e) over 0 ≤ u_l ≤ β_l,
+// Σ u_l ≤ B; its LP dual replaces the π coefficient 1 with β_l and the
+// λ coefficient F with B. The envelope's full single-failure anchor
+// (DESIGN.md §15) is the elementwise max with max_l c_l·p_l(e), encoded
+// with one auxiliary variable m_e ≥ c_l·p_l(e) and a second capacity row
+// base(e) + m_e ≤ MLU·c_e.
 func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) {
-	model, ok := cfg.Model.(ArbitraryFailures)
-	if !ok {
-		return nil, errors.New("core: LP solver supports only ArbitraryFailures")
+	var (
+		F    float64 // λ coefficient: failure count, or degradation budget
+		degr *DegradationModel
+	)
+	switch m := cfg.Model.(type) {
+	case ArbitraryFailures:
+		F = float64(m.F)
+	case DegradationModel:
+		dm := m
+		degr = &dm
+		F = m.Budget
+	default:
+		return nil, errors.New("core: LP solver supports only ArbitraryFailures and DegradationModel")
 	}
-	F := float64(model.F)
 	nL := g.NumLinks()
 	comms := routing.ODCommodities(g.NumNodes(), d.At)
 
@@ -64,15 +81,23 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 		addRoutingConstraints(prob, g, head, tail, pVar[l])
 	}
 
-	// Dual multipliers π_e(l) and λ_e.
+	// Dual multipliers π_e(l) and λ_e, plus the anchor variable m_e for
+	// the degradation envelope.
 	piVar := make([][]int, nL)
 	lamVar := make([]int, nL)
+	var mVar []int
+	if degr != nil {
+		mVar = make([]int, nL)
+	}
 	for e := 0; e < nL; e++ {
 		piVar[e] = make([]int, nL)
 		for l := 0; l < nL; l++ {
 			piVar[e][l] = prob.AddVariable(fmt.Sprintf("pi%d_%d", e, l), 0)
 		}
 		lamVar[e] = prob.AddVariable(fmt.Sprintf("lam%d", e), 0)
+		if degr != nil {
+			mVar[e] = prob.AddVariable(fmt.Sprintf("m%d", e), 0)
+		}
 	}
 
 	// Fixed base loads when r is given.
@@ -83,8 +108,10 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 		fixedLoads = fl.Loads()
 	}
 
-	// Capacity rows: sum_ab d_ab r_ab(e) + sum_l π_e(l) + λ_e F <= MLU c_e.
-	for e := 0; e < nL; e++ {
+	// Capacity rows: sum_ab d_ab r_ab(e) + sum_l β_l π_e(l) + λ_e B <= MLU c_e
+	// (β_l = 1 and B = F in the classic model). The degradation envelope
+	// adds the anchor row base(e) + m_e <= MLU c_e per link.
+	baseTerms := func(e int) ([]lp.Term, float64) {
 		ce := g.Link(graph.LinkID(e)).Capacity
 		terms := []lp.Term{{Var: mluVar, Coef: -ce}}
 		rhs := 0.0
@@ -97,18 +124,36 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 		} else {
 			rhs = -fixedLoads[e]
 		}
+		return terms, rhs
+	}
+	for e := 0; e < nL; e++ {
+		terms, rhs := baseTerms(e)
 		for l := 0; l < nL; l++ {
-			terms = append(terms, lp.Term{Var: piVar[e][l], Coef: 1})
+			if degr == nil {
+				terms = append(terms, lp.Term{Var: piVar[e][l], Coef: 1})
+			} else if b := degr.beta(l); b > 0 {
+				terms = append(terms, lp.Term{Var: piVar[e][l], Coef: b})
+			}
 		}
 		terms = append(terms, lp.Term{Var: lamVar[e], Coef: F})
 		prob.AddConstraint(terms, lp.LE, rhs)
+		if degr != nil {
+			anchor, arhs := baseTerms(e)
+			anchor = append(anchor, lp.Term{Var: mVar[e], Coef: 1})
+			prob.AddConstraint(anchor, lp.LE, arhs)
+		}
 	}
 
 	// Dual feasibility rows: c_l p_l(e) - π_e(l) - λ_e <= 0, i.e. the
-	// paper's (π_e(l)+λ_e)/c_l >= p_l(e).
+	// paper's (π_e(l)+λ_e)/c_l >= p_l(e). Under degradation the rows only
+	// exist for degradable links (β_l > 0; others contribute no virtual
+	// demand), and the anchor adds c_l p_l(e) - m_e <= 0.
 	for e := 0; e < nL; e++ {
 		for l := 0; l < nL; l++ {
 			if pVar[l][e] < 0 {
+				continue
+			}
+			if degr != nil && degr.beta(l) <= 0 {
 				continue
 			}
 			cl := g.Link(graph.LinkID(l)).Capacity
@@ -117,6 +162,12 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 				{Var: piVar[e][l], Coef: -1},
 				{Var: lamVar[e], Coef: -1},
 			}, lp.LE, 0)
+			if degr != nil {
+				prob.AddConstraint([]lp.Term{
+					{Var: pVar[l][e], Coef: cl},
+					{Var: mVar[e], Coef: -1},
+				}, lp.LE, 0)
+			}
 		}
 	}
 
@@ -191,7 +242,7 @@ func precomputeLP(g *graph.Graph, d *traffic.Matrix, cfg Config) (*Plan, error) 
 
 	plan := &Plan{
 		G:       g,
-		Model:   model,
+		Model:   cfg.Model,
 		Base:    base,
 		Prot:    prot,
 		MLU:     sol.X[mluVar],

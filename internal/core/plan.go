@@ -76,6 +76,10 @@ type State struct {
 	// detours remembers ξ_e for every failed link (diagnostics and the
 	// MPLS-ff data plane read these).
 	detours map[graph.LinkID][]float64
+	// degraded maps partially degraded links to their lost capacity
+	// fraction (effective capacity (1-frac)·c). Nil until the first
+	// Degrade, so purely hard-failure replays allocate nothing new.
+	degraded map[graph.LinkID]float64
 }
 
 // NewState copies a plan into a mutable online state.
@@ -104,12 +108,20 @@ func (s *State) Clone() *State {
 	for e, xi := range s.detours {
 		detours[e] = append([]float64(nil), xi...)
 	}
+	var degraded map[graph.LinkID]float64
+	if s.degraded != nil {
+		degraded = make(map[graph.LinkID]float64, len(s.degraded))
+		for e, f := range s.degraded {
+			degraded[e] = f
+		}
+	}
 	return &State{
-		G:       s.G,
-		base:    s.base.Clone(),
-		prot:    prot,
-		failed:  s.failed.Clone(),
-		detours: detours,
+		G:        s.G,
+		base:     s.base.Clone(),
+		prot:     prot,
+		failed:   s.failed.Clone(),
+		detours:  detours,
+		degraded: degraded,
 	}
 }
 
@@ -188,6 +200,13 @@ func (s *State) FailWith(e graph.LinkID, xi []float64) error {
 		return fmt.Errorf("core: link %d already failed", e)
 	}
 	nL := s.G.NumLinks()
+	if _, ok := s.degraded[e]; ok {
+		// The degradation envelope does not cover fail-after-degrade
+		// composition on one link: the detour ξ_e was already partially
+		// consumed, so the remaining protection row no longer matches the
+		// certified bound.
+		return fmt.Errorf("core: link %d already degraded; cannot also fail it", e)
+	}
 	if len(xi) != nL {
 		return fmt.Errorf("core: detour for link %d has %d entries, want %d", e, len(xi), nL)
 	}
@@ -232,6 +251,133 @@ func (s *State) FailWith(e graph.LinkID, xi []float64) error {
 	return nil
 }
 
+// Degrade applies a partial capacity loss to link e: a fraction frac of
+// its capacity disappears, so frac of the traffic on e moves through the
+// same detour ξ_e a hard failure would use, scaled by frac — updates (9)
+// and (10) with fe·frac instead of fe. The remaining (1-frac) of the
+// traffic stays on e, whose effective capacity becomes (1-frac)·c_e;
+// the link's own utilization is invariant ((1-frac)·load / (1-frac)·c),
+// and every other link's certified bound covers the moved share because
+// the degradation envelope's anchor keeps each protection row at full
+// single-failure strength (DESIGN.md §15).
+//
+// frac must lie strictly in (0, 1): a full loss is a hard failure (use
+// Fail). Degrading a link twice, degrading a failed link, or failing a
+// degraded link are errors — the envelope does not certify those
+// compositions.
+func (s *State) Degrade(e graph.LinkID, frac float64) error {
+	if int(e) < 0 || int(e) >= s.G.NumLinks() {
+		return fmt.Errorf("core: link %d out of range", e)
+	}
+	if math.IsNaN(frac) || frac <= 0 || frac >= 1 {
+		return fmt.Errorf("core: degradation fraction %v outside (0, 1) for link %d (use Fail for a full loss)", frac, e)
+	}
+	if s.failed.Contains(e) {
+		return fmt.Errorf("core: link %d already failed; cannot degrade it", e)
+	}
+	if _, ok := s.degraded[e]; ok {
+		return fmt.Errorf("core: link %d already degraded", e)
+	}
+	nL := s.G.NumLinks()
+	xi := s.ComputeDetour(e)
+
+	// (9), scaled: r'_ab(l) = r_ab(l) + r_ab(e)·frac·ξ_e(l),
+	// r'_ab(e) = r_ab(e)·(1-frac).
+	for k := range s.base.Frac {
+		fr := s.base.Frac[k]
+		fe := fr[e]
+		if fe == 0 {
+			continue
+		}
+		moved := fe * frac
+		for l := 0; l < nL; l++ {
+			if xi[l] != 0 {
+				fr[l] += moved * xi[l]
+			}
+		}
+		fr[e] = fe * (1 - frac)
+	}
+	// (10), scaled, for every other surviving link's protection row. Row
+	// e itself keeps its remaining strength untouched: further disruption
+	// of e is forbidden below, so the row is never consumed again.
+	for u := 0; u < nL; u++ {
+		if u == int(e) || s.failed.Contains(graph.LinkID(u)) {
+			continue
+		}
+		pu := s.prot[u]
+		pue := pu[e]
+		if pue == 0 {
+			continue
+		}
+		moved := pue * frac
+		for l := 0; l < nL; l++ {
+			if xi[l] != 0 {
+				pu[l] += moved * xi[l]
+			}
+		}
+		pu[e] = pue * (1 - frac)
+	}
+
+	if s.degraded == nil {
+		s.degraded = make(map[graph.LinkID]float64)
+	}
+	s.degraded[e] = frac
+	return nil
+}
+
+// DegradedFrac returns the lost capacity fraction of link e (0 when the
+// link is not degraded).
+func (s *State) DegradedFrac(e graph.LinkID) float64 { return s.degraded[e] }
+
+// Degraded returns the degraded links and their lost fractions.
+func (s *State) Degraded() map[graph.LinkID]float64 {
+	out := make(map[graph.LinkID]float64, len(s.degraded))
+	for e, f := range s.degraded {
+		out[e] = f
+	}
+	return out
+}
+
+// ScaleDemands multiplies the demand of the listed OD pairs by factor
+// (every commodity when ods is nil) — the online form of a traffic
+// surge.
+func (s *State) ScaleDemands(factor float64, ods []OD) {
+	if ods == nil {
+		for k := range s.base.Comms {
+			s.base.Comms[k].Demand *= factor
+		}
+		return
+	}
+	set := make(map[OD]bool, len(ods))
+	for _, od := range ods {
+		set[od] = true
+	}
+	for k := range s.base.Comms {
+		c := &s.base.Comms[k]
+		if set[OD{c.Src, c.Dst}] {
+			c.Demand *= factor
+		}
+	}
+}
+
+// ApplyScenario replays a full scenario onto the state: surge first (the
+// demand spike exists before the reaction), then hard failures in ID
+// order, then degradations in listed order.
+func (s *State) ApplyScenario(sc Scenario) error {
+	if sc.SurgeScale > 1 {
+		s.ScaleDemands(sc.SurgeScale, sc.SurgeODs)
+	}
+	if err := s.FailAll(sc.Failed.IDs()...); err != nil {
+		return err
+	}
+	for _, d := range sc.Degraded {
+		if err := s.Degrade(d.Link, d.Frac); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FailAll applies a set of failures in the given order. Theorem 3
 // guarantees the final state is order independent as long as no failure
 // strands demand (p_e(e) = 1 never occurs mid-sequence); once a partition
@@ -250,6 +396,9 @@ func (s *State) FailAll(links ...graph.LinkID) error {
 		}
 		if s.failed.Contains(e) {
 			return fmt.Errorf("core: link %d already failed", e)
+		}
+		if _, ok := s.degraded[e]; ok {
+			return fmt.Errorf("core: link %d already degraded; cannot also fail it", e)
 		}
 		if seen.Contains(e) {
 			return fmt.Errorf("core: link %d listed twice", e)
@@ -271,7 +420,9 @@ func (s *State) Loads() []float64 {
 	return s.base.Loads()
 }
 
-// MLU returns the maximum utilization over surviving links.
+// MLU returns the maximum utilization over surviving links, measured
+// against effective capacities: a degraded link is judged at
+// (1-frac)·c_e.
 func (s *State) MLU() float64 {
 	loads := s.Loads()
 	worst := 0.0
@@ -279,7 +430,11 @@ func (s *State) MLU() float64 {
 		if s.failed.Contains(graph.LinkID(e)) {
 			continue
 		}
-		if u := l / s.G.Link(graph.LinkID(e)).Capacity; u > worst {
+		c := s.G.Link(graph.LinkID(e)).Capacity
+		if f, ok := s.degraded[graph.LinkID(e)]; ok {
+			c *= 1 - f
+		}
+		if u := l / c; u > worst {
 			worst = u
 		}
 	}

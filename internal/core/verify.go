@@ -7,14 +7,20 @@ import (
 )
 
 // VerifyReport is the result of empirically checking a plan's guarantee
-// by enumerating failure scenarios and replaying online reconfiguration.
+// by replaying scenarios through online reconfiguration.
 type VerifyReport struct {
-	// Scenarios is the number of failure sets checked.
+	// Scenarios is the number of scenarios checked.
 	Scenarios int
-	// WorstMLU is the highest post-reconfiguration utilization observed.
+	// ByKind counts checked scenarios per scenario kind.
+	ByKind map[ScenarioKind]int
+	// WorstMLU is the highest post-reconfiguration utilization observed
+	// (against effective capacities for degradation scenarios).
 	WorstMLU float64
-	// WorstScenario is the failure set achieving WorstMLU.
+	// WorstScenario is the hard-failure set of the scenario achieving
+	// WorstMLU (kept for callers predating mixed scenario kinds).
 	WorstScenario graph.LinkSet
+	// Worst is the full scenario achieving WorstMLU.
+	Worst Scenario
 	// Partitions counts scenarios that stranded demand.
 	Partitions int
 	// Violations counts scenarios exceeding the plan's MLU bound (only
@@ -31,47 +37,37 @@ func (p *Plan) Verify(maxFail, maxScenarios int) (*VerifyReport, error) {
 	if maxFail < 1 {
 		return nil, fmt.Errorf("core: maxFail %d < 1", maxFail)
 	}
-	rep := &VerifyReport{}
-	nL := p.G.NumLinks()
+	return p.VerifyScenarios(EnumerateFailures(p.G.NumLinks(), maxFail, maxScenarios))
+}
+
+// VerifyScenarios replays each scenario (surge, hard failures, then
+// degradations) against a fresh copy of the plan and reports the worst
+// observed effective-capacity utilization. It is the generalized audit:
+// for scenarios inside the plan's protected envelopes — failure sets
+// covered by the model, in-budget degradations, surges folded into the
+// demand hull — a plan with MLU <= 1 must show zero violations.
+func (p *Plan) VerifyScenarios(scs []Scenario) (*VerifyReport, error) {
+	rep := &VerifyReport{ByKind: make(map[ScenarioKind]int)}
 	bound := p.MLU + 1e-6
-	var rec func(start int, chosen []graph.LinkID) error
-	rec = func(start int, chosen []graph.LinkID) error {
-		if len(chosen) > 0 {
-			if maxScenarios > 0 && rep.Scenarios >= maxScenarios {
-				return nil
-			}
-			rep.Scenarios++
-			st := NewState(p)
-			if err := st.FailAll(chosen...); err != nil {
-				return err
-			}
-			if st.LostDemand() > 1e-9 {
-				rep.Partitions++
-			}
-			mlu := st.MLU()
-			if mlu > rep.WorstMLU {
-				rep.WorstMLU = mlu
-				rep.WorstScenario = graph.NewLinkSet(chosen...)
-			}
-			if mlu > bound {
-				rep.Violations++
-			}
+	for _, sc := range scs {
+		rep.Scenarios++
+		rep.ByKind[sc.EffectiveKind()]++
+		st := NewState(p)
+		if err := st.ApplyScenario(sc); err != nil {
+			return nil, err
 		}
-		if len(chosen) == maxFail {
-			return nil
+		if st.LostDemand() > 1e-9 {
+			rep.Partitions++
 		}
-		for e := start; e < nL; e++ {
-			if maxScenarios > 0 && rep.Scenarios >= maxScenarios {
-				return nil
-			}
-			if err := rec(e+1, append(chosen, graph.LinkID(e))); err != nil {
-				return err
-			}
+		mlu := st.MLU()
+		if mlu > rep.WorstMLU {
+			rep.WorstMLU = mlu
+			rep.WorstScenario = sc.Failed.Clone()
+			rep.Worst = sc
 		}
-		return nil
-	}
-	if err := rec(0, nil); err != nil {
-		return nil, err
+		if mlu > bound {
+			rep.Violations++
+		}
 	}
 	return rep, nil
 }

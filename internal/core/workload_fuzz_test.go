@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWorkloadSpec hammers the two user-facing scenario grammars — the
+// workload spec ("alpha=0.5,budget=2,surge=1.5,odfrac=0.25") and the
+// concrete degradation assignment ("3:0.5,7:0.25") — checking that every
+// accepted parse satisfies the documented invariants and that accepted
+// workload specs round-trip through String.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add("", "")
+	f.Add("alpha=0.5", "3:0.5")
+	f.Add("alpha=0.5,budget=2,surge=1.5,odfrac=0.25", "3:0.5,7:0.25")
+	f.Add("alpha=0,budget=0.5", "0:0.001")
+	f.Add("surge=1.0001,odfrac=1", "13:0.999")
+	f.Add("alpha=1e-10,budget=1e10", "1:0.5,1:0.5")
+	f.Add("alpha=NaN", "3:NaN")
+	f.Add("alpha=+Inf,budget=-0", "-1:0.5")
+	f.Add("alpha=0.5,alpha=0.5", "00007:.25")
+	f.Add(",,,", "::")
+
+	f.Fuzz(func(t *testing.T, spec, degr string) {
+		w, err := ParseWorkloadSpec(spec)
+		if err == nil {
+			if math.IsNaN(w.Alpha) || w.Alpha < 0 || w.Alpha > 1 {
+				t.Fatalf("%q: accepted alpha %v outside [0, 1]", spec, w.Alpha)
+			}
+			if w.Degrades() && (math.IsNaN(w.Budget) || math.IsInf(w.Budget, 0) || w.Budget <= 0) {
+				t.Fatalf("%q: accepted degrading spec with budget %v", spec, w.Budget)
+			}
+			if w.Surges() && (w.ODFrac <= 0 || w.ODFrac > 1) {
+				t.Fatalf("%q: accepted surging spec with odfrac %v", spec, w.ODFrac)
+			}
+			if w.Degrades() {
+				if err := w.Model(ArbitraryFailures{F: 1}).(DegradationModel).Validate(); err != nil {
+					t.Fatalf("%q: accepted spec implies invalid model: %v", spec, err)
+				}
+			}
+			if sp := w.SurgeSpec(); sp != nil {
+				if err := sp.Validate(); err != nil {
+					t.Fatalf("%q: accepted spec implies invalid surge: %v", spec, err)
+				}
+			}
+			// String must render back into the grammar. %g keeps full
+			// float64 precision, so the round trip is exact.
+			back, err := ParseWorkloadSpec(w.String())
+			if err != nil {
+				t.Fatalf("%q: String() %q does not re-parse: %v", spec, w.String(), err)
+			}
+			if back != w {
+				t.Fatalf("%q: round trip %q = %+v, want %+v", spec, w.String(), back, w)
+			}
+		}
+
+		const nL = 16
+		degs, err := ParseDegradations(degr, nL)
+		if err == nil {
+			seen := map[int]bool{}
+			for _, dg := range degs {
+				if int(dg.Link) < 0 || int(dg.Link) >= nL {
+					t.Fatalf("%q: accepted link %d outside [0, %d)", degr, dg.Link, nL)
+				}
+				if math.IsNaN(dg.Frac) || dg.Frac <= 0 || dg.Frac >= 1 {
+					t.Fatalf("%q: accepted fraction %v outside (0, 1)", degr, dg.Frac)
+				}
+				if seen[int(dg.Link)] {
+					t.Fatalf("%q: accepted duplicate link %d", degr, dg.Link)
+				}
+				seen[int(dg.Link)] = true
+			}
+		}
+	})
+}

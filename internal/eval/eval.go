@@ -44,6 +44,26 @@ func (s *R3Scheme) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, fl
 	return st.Loads(), st.LostDemand()
 }
 
+// ScenarioScheme is a Scheme that can replay full scenarios — surges and
+// partial capacity degradations, not just hard failures. The engine
+// detects it and hands such schemes the whole scenario (with the base,
+// unsurged matrix; the scheme applies the surge itself).
+type ScenarioScheme interface {
+	protect.Scheme
+	ScenarioLoads(sc core.Scenario, d *traffic.Matrix) ([]float64, float64)
+}
+
+// ScenarioLoads implements ScenarioScheme: online reconfiguration replays
+// the surge, then the failures, then the degradations.
+func (s *R3Scheme) ScenarioLoads(sc core.Scenario, d *traffic.Matrix) ([]float64, float64) {
+	st := core.NewState(s.Plan)
+	st.SetDemands(d.At)
+	if err := st.ApplyScenario(sc); err != nil {
+		panic(fmt.Sprintf("eval: %v", err))
+	}
+	return st.Loads(), st.LostDemand()
+}
+
 // SingleLinks enumerates every single-link failure scenario.
 func SingleLinks(g *graph.Graph) []graph.LinkSet {
 	out := make([]graph.LinkSet, g.NumLinks())
@@ -169,6 +189,12 @@ func FilterConnected(g *graph.Graph, scenarios []graph.LinkSet) []graph.LinkSet 
 // Result is the evaluation of one scenario.
 type Result struct {
 	Scenario graph.LinkSet
+	// Kind labels the scenario class ("failure", "degradation", "surge",
+	// "node") so mixed sweeps stay attributable per row.
+	Kind string
+	// Spec is the full scenario (degradations, surge parameters); for plain
+	// failure evaluations it just wraps Scenario.
+	Spec core.Scenario
 	// Bottleneck is the bottleneck traffic intensity per scheme name.
 	Bottleneck map[string]float64
 	// Lost is the dropped demand per scheme name.
@@ -259,14 +285,19 @@ func (en *Engine) resolveShards(n int) int {
 
 // bottleneckLink returns the index of the most-utilized alive link, or -1
 // when every link is failed or idle. It mirrors protect.Bottleneck's
-// utilization convention so the tally names the link behind that metric.
-func bottleneckLink(g *graph.Graph, failed graph.LinkSet, loads []float64) int {
+// utilization convention (including degraded effective capacities) so the
+// tally names the link behind that metric.
+func bottleneckLink(g *graph.Graph, failed graph.LinkSet, capScale []float64, loads []float64) int {
 	best, worst := -1, 0.0
 	for e, l := range loads {
 		if failed.Contains(graph.LinkID(e)) {
 			continue
 		}
-		if u := l / g.Link(graph.LinkID(e)).Capacity; u > worst {
+		c := g.Link(graph.LinkID(e)).Capacity
+		if capScale != nil {
+			c *= capScale[e]
+		}
+		if u := l / c; u > worst {
 			worst, best = u, e
 		}
 	}
@@ -281,6 +312,29 @@ func bottleneckLink(g *graph.Graph, failed graph.LinkSet, loads []float64) int {
 // (and content) is independent of scheduling, shard count, and worker
 // count.
 func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Result {
+	return en.EvaluateScenarios(d, FailureScenarios(scenarios))
+}
+
+// FailureScenarios wraps bare hard-failure sets as core.Scenario values —
+// the adapter between the classic enumerators above and the generalized
+// engine entry point.
+func FailureScenarios(sets []graph.LinkSet) []core.Scenario {
+	out := make([]core.Scenario, len(sets))
+	for i, s := range sets {
+		out[i] = core.FailureScenario(s)
+	}
+	return out
+}
+
+// EvaluateScenarios is Evaluate over generalized scenarios: hard failures,
+// partial capacity degradations, demand surges and node outages. Schemes
+// implementing ScenarioScheme (R3's online reconfiguration) replay the
+// full scenario; the others reroute around the hard failures under the
+// surged demand but cannot react to capacity degradation — every scheme
+// is then judged against the scenario's effective (degraded) capacities,
+// as is the optimal denominator. Pure-failure scenarios take exactly the
+// classic code paths, so Evaluate's results are unchanged.
+func (en *Engine) EvaluateScenarios(d *traffic.Matrix, scenarios []core.Scenario) []Result {
 	ranges := par.ShardRanges(len(scenarios), en.resolveShards(len(scenarios)))
 	opts := make([]*protect.Optimal, len(ranges))
 	for si := range opts {
@@ -318,7 +372,7 @@ func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Resul
 	// shards only read them. (A single shard is already serial.)
 	if len(ranges) > 1 && pool.Workers() > 1 {
 		for _, s := range en.Schemes {
-			s.Loads(scenarios[0], d)
+			s.Loads(scenarios[0].Failed, d)
 		}
 	}
 
@@ -328,18 +382,32 @@ func (en *Engine) Evaluate(d *traffic.Matrix, scenarios []graph.LinkSet) []Resul
 			start := time.Now()
 			sc := scenarios[i]
 			res := Result{
-				Scenario:   sc,
+				Scenario:   sc.Failed,
+				Kind:       string(sc.EffectiveKind()),
+				Spec:       sc,
 				Bottleneck: make(map[string]float64, len(en.Schemes)),
 				Lost:       make(map[string]float64, len(en.Schemes)),
 			}
-			ol, _ := opt.Loads(sc, d)
-			res.Optimal = protect.Bottleneck(en.G, sc, ol)
+			// nil for pure failures, so those stay on the classic
+			// (bit-identical) arithmetic.
+			capScale := sc.CapScale(en.G.NumLinks())
+			dEff := sc.SurgeDemand(d)
+			ol, _ := opt.ScenarioLoads(sc.Failed, capScale, dEff)
+			res.Optimal = protect.BottleneckScaled(en.G, sc.Failed, capScale, ol)
 			for _, s := range en.Schemes {
-				loads, lost := s.Loads(sc, d)
-				res.Bottleneck[s.Name()] = protect.Bottleneck(en.G, sc, loads)
+				var loads []float64
+				var lost float64
+				if ss, ok := s.(ScenarioScheme); ok {
+					// The scheme replays the full scenario itself, from the
+					// base (unsurged) matrix.
+					loads, lost = ss.ScenarioLoads(sc, d)
+				} else {
+					loads, lost = s.Loads(sc.Failed, dEff)
+				}
+				res.Bottleneck[s.Name()] = protect.BottleneckScaled(en.G, sc.Failed, capScale, loads)
 				res.Lost[s.Name()] = lost
 				if live {
-					if e := bottleneckLink(g, sc, loads); e >= 0 {
+					if e := bottleneckLink(g, sc.Failed, capScale, loads); e >= 0 {
 						bottle.Add(e, 1)
 					}
 				}

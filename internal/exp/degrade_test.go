@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDegradationSweepQuick(t *testing.T) {
+	o := Quick()
+	spec := core.WorkloadSpec{Alpha: 0.5, Budget: 1, Surge: 1.3, ODFrac: 0.25}
+	r := DegradationSweep(spec, o)
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if r.CertifiedFailure <= 0 || r.CertifiedDegrade <= 0 {
+		t.Fatalf("certified MLUs = %v, %v", r.CertifiedFailure, r.CertifiedDegrade)
+	}
+	// The X_D envelope contains X_F's single failures (through the anchor)
+	// plus the degradations and the surge, so its certificate can never be
+	// cheaper than the failure plan's.
+	if r.CertifiedDegrade < r.CertifiedFailure-1e-6 {
+		t.Fatalf("X_D certificate %v below X_F certificate %v",
+			r.CertifiedDegrade, r.CertifiedFailure)
+	}
+	kinds := map[string]DegradeSweepRow{}
+	for _, row := range r.Rows {
+		kinds[row.Kind] = row
+		if row.Count == 0 {
+			t.Fatalf("kind %q has zero scenarios", row.Kind)
+		}
+	}
+	for _, want := range []string{"failure", "degradation", "node", "surge"} {
+		if _, ok := kinds[want]; !ok {
+			t.Fatalf("kind %q missing from sweep (have %v)", want, r.Rows)
+		}
+	}
+	// The envelope plan is certified for every sampled degradation: its
+	// worst degradation bottleneck stays within the certificate.
+	if row := kinds["degradation"]; row.Worst[degradeSchemeEnvelope] > r.CertifiedDegrade+1e-6 {
+		t.Fatalf("X_D worst degradation %v above its certificate %v",
+			row.Worst[degradeSchemeEnvelope], r.CertifiedDegrade)
+	}
+	// Same for the surge the plan was precomputed against.
+	if row := kinds["surge"]; row.Worst[degradeSchemeEnvelope] > r.CertifiedDegrade+1e-6 {
+		t.Fatalf("X_D worst surge %v above its certificate %v",
+			row.Worst[degradeSchemeEnvelope], r.CertifiedDegrade)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Degradation-envelope sweep", "degradation", "node", spec.String()} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegradationSweepDefaultsSpec(t *testing.T) {
+	o := Quick()
+	o.MaxScenarios = 10
+	r := DegradationSweep(core.WorkloadSpec{Alpha: 1}, o)
+	if !r.Spec.Degrades() || r.Spec.Alpha != 0.5 || r.Spec.Budget != 1 {
+		t.Fatalf("inert spec not defaulted: %+v", r.Spec)
+	}
+	for _, row := range r.Rows {
+		if row.Kind == "surge" {
+			t.Fatalf("surge row present without a surge spec")
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Options struct {
 	// RelTol stops early when the duality-style gap estimate falls below
 	// RelTol × current objective (default 0.005).
 	RelTol float64
+	// CapScale, when non-nil, scales each link's effective capacity by
+	// the given factor (length NumLinks, entries in (0, 1]) — the
+	// capacity-degradation counterpart of a failed link. A fully lost
+	// link belongs in Alive, not at scale 0. Nil means full capacities,
+	// and the solve is bit-identical to one without the option.
+	CapScale []float64
 	// Warm, when non-nil, seeds MinMLUExact's simplex with the basis of a
 	// previous solve over the same (topology, commodities, reachability)
 	// shape — failure scenarios differ only in rhs entries, so the dual
@@ -86,6 +92,9 @@ func MinMLU(g *graph.Graph, comms []routing.Commodity, opts Options) *Result {
 	cap := make([]float64, nL)
 	for e := 0; e < nL; e++ {
 		cap[e] = g.Link(graph.LinkID(e)).Capacity
+		if opts.CapScale != nil {
+			cap[e] *= opts.CapScale[e]
+		}
 	}
 	bg := opts.Background
 	if bg == nil {
@@ -114,7 +123,7 @@ func MinMLU(g *graph.Graph, comms []routing.Commodity, opts Options) *Result {
 	// inverse-capacity-cost shortest path (a reasonable starting point
 	// that avoids tiny links).
 	loads := append([]float64(nil), bg...)
-	invCap := func(id graph.LinkID) float64 { return 1e9 / g.Link(id).Capacity }
+	invCap := func(id graph.LinkID) float64 { return 1e9 / cap[id] }
 	assignShortest(g, f.Comms, reach, opts.Alive, invCap, func(k int, path []graph.LinkID) {
 		for _, id := range path {
 			f.Frac[k][id] = 1
@@ -409,6 +418,12 @@ func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Resu
 	// degenerates to 0 <= MLU·c_e.
 	for e := 0; e < nL; e++ {
 		cEdge := g.Link(graph.LinkID(e)).Capacity
+		if opts.CapScale != nil {
+			// Degraded capacity changes only this coefficient, never the
+			// sparsity pattern, so warm bases stay shape-compatible across
+			// degradation scenarios exactly as across failure scenarios.
+			cEdge *= opts.CapScale[e]
+		}
 		terms := []lp.Term{{Var: mluVar, Coef: -cEdge}}
 		for k, c := range comms {
 			if c.Demand > 0 {
@@ -471,5 +486,15 @@ func MinMLUExact(g *graph.Graph, comms []routing.Commodity, opts Options) (*Resu
 	f.RemoveLoops()
 	final := append([]float64(nil), bg...)
 	f.AddLoads(final)
-	return &Result{Flow: f, MLU: routing.MLU(g, final), Dropped: dropped, Basis: sol.Basis}, nil
+	mlu := 0.0
+	for e := 0; e < nL; e++ {
+		c := g.Link(graph.LinkID(e)).Capacity
+		if opts.CapScale != nil {
+			c *= opts.CapScale[e]
+		}
+		if u := final[e] / c; u > mlu {
+			mlu = u
+		}
+	}
+	return &Result{Flow: f, MLU: mlu, Dropped: dropped, Basis: sol.Basis}, nil
 }

@@ -1,0 +1,135 @@
+package netem
+
+import (
+	"math"
+	"testing"
+)
+
+// degradeScenario is goldenScenario with the two hard failures expressed
+// through DegradeAt instead of FailAt, plus optional extra degradations.
+func degradeScenario(t testing.TB, cfg Config, frac float64, extra func(*Emulator)) *Emulator {
+	t.Helper()
+	g, d, _ := abileneSetup(t, 150)
+	plan := planForAbilene(t, 150)
+	cfg.G = g
+	cfg.Forwarder = NewR3Distributed(plan)
+	cfg.Seed = 1
+	em := New(cfg)
+	addTM(em, d, 3.0)
+	den, _ := g.NodeByName("Denver")
+	la, _ := g.NodeByName("LosAngeles")
+	em.AddPing(den, la, 0.2, 3.0)
+	em.DegradeAt(1.0, 0, frac)
+	em.DegradeAt(1.5, 8, frac)
+	if extra != nil {
+		extra(em)
+	}
+	em.Run(3.0)
+	return em
+}
+
+// TestDegradeZeroIsByteIdenticalToGolden is the satellite regression gate:
+// with zero-probability chaos enabled and every degradation request a
+// no-op (frac 0, negative, or NaN), the emulation must still produce the
+// pre-degradation golden fingerprint — the degradation layer is inert
+// unless asked to act.
+func TestDegradeZeroIsByteIdenticalToGolden(t *testing.T) {
+	noops := func(em *Emulator) {
+		em.DegradeAt(0.5, 2, 0)
+		em.DegradeAt(0.6, 3, -0.25)
+		em.DegradeAt(0.7, 4, math.NaN())
+	}
+	// Plain configuration: no-op degradations must reproduce the pinned
+	// pre-degradation golden exactly.
+	if got := degradeScenario(t, Config{}, 1.0, noops).Fingerprint(); got != goldenFingerprint {
+		t.Errorf("no-op degradations perturbed the run: %#x, golden %#x", got, goldenFingerprint)
+	}
+	// Zero-probability chaos: its fingerprint legitimately differs from
+	// the chaos-disabled golden (jitterless chaos still reshapes the event
+	// stream), but no-op degradations must stay invisible there too.
+	chaos := Config{Chaos: ChaosConfig{Enabled: true, Seed: 99}}
+	a := goldenScenario(t, chaos)
+	b := degradeScenario(t, chaos, 1.0, noops)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("no-op degradations perturbed a zero-probability chaos run: %#x vs %#x",
+			b.Fingerprint(), a.Fingerprint())
+	}
+}
+
+// TestDegradeFullDelegatesToFail: frac >= 1 is a hard failure, so the
+// golden scenario rewritten through DegradeAt(…, 1.0) must be
+// byte-identical to the FailAt original.
+func TestDegradeFullDelegatesToFail(t *testing.T) {
+	em := degradeScenario(t, Config{}, 1.0, nil)
+	if got := em.Fingerprint(); got != goldenFingerprint {
+		t.Errorf("DegradeAt(1.0) run = %#x, FailAt golden %#x", got, goldenFingerprint)
+	}
+	over := degradeScenario(t, Config{}, 1.5, nil)
+	if got := over.Fingerprint(); got != goldenFingerprint {
+		t.Errorf("DegradeAt(1.5) run = %#x, FailAt golden %#x", got, goldenFingerprint)
+	}
+}
+
+// TestDegradePartial: a partial capacity loss opens a new phase, applies
+// to both directions of the duplex pair, throttles delivery relative to
+// the undegraded run, and never violates the (effective-) capacity
+// invariant.
+func TestDegradePartial(t *testing.T) {
+	base := goldenScenario(t, Config{})
+	baseOff, baseDel, _ := sumPhases(base)
+
+	g, d, _ := abileneSetup(t, 150)
+	plan := planForAbilene(t, 150)
+	em := New(Config{G: g, Forwarder: NewR3Distributed(plan), Seed: 1})
+	addTM(em, d, 3.0)
+	den, _ := g.NodeByName("Denver")
+	la, _ := g.NodeByName("LosAngeles")
+	em.AddPing(den, la, 0.2, 3.0)
+	em.FailAt(1.0, 0)
+	em.FailAt(1.5, 8)
+	em.DegradeAt(2.0, 4, 0.9)
+	em.Run(3.0)
+
+	if got := em.DegradedFrac(4); got != 0.9 {
+		t.Fatalf("DegradedFrac(4) = %v, want 0.9", got)
+	}
+	if rev := g.Link(4).Reverse; rev >= 0 {
+		if got := em.DegradedFrac(rev); got != 0.9 {
+			t.Fatalf("reverse direction %d not degraded: %v", rev, got)
+		}
+	}
+	if got, want := len(em.Phases()), len(base.Phases())+1; got != want {
+		t.Fatalf("phases = %d, want %d (degradation must open its own phase)", got, want)
+	}
+	off, del, drops := sumPhases(em)
+	if off != baseOff {
+		t.Fatalf("offered bytes changed: %d vs %d (degradation must not touch the workload)", off, baseOff)
+	}
+	if del >= baseDel {
+		t.Fatalf("losing 90%% of a link's capacity did not reduce delivery: %d vs %d", del, baseDel)
+	}
+	if drops == 0 {
+		t.Fatalf("no drops recorded under 90%% degradation")
+	}
+	if n := len(em.Violations()); n != 0 {
+		t.Fatalf("degraded run recorded %d invariant violations: %v", n, em.Violations())
+	}
+}
+
+// TestDegradeRate pins the effective transmission rate arithmetic: an
+// undegraded link serves at full capacity bit-for-bit (the f > 0 guard),
+// a degraded one at exactly (1-f) of it.
+func TestDegradeRate(t *testing.T) {
+	g, _, _ := abileneSetup(t, 150)
+	plan := planForAbilene(t, 150)
+	em := New(Config{G: g, Forwarder: NewR3Distributed(plan), Seed: 1})
+	full := g.Link(2).Capacity * 1e6 / 8
+	if got := em.rateBytes(2); got != full {
+		t.Fatalf("undegraded rate = %v, want %v", got, full)
+	}
+	em.DegradeAt(0.1, 2, 0.25)
+	em.Run(0.2)
+	if got, want := em.rateBytes(2), full*0.75; got != want {
+		t.Fatalf("degraded rate = %v, want %v", got, want)
+	}
+}

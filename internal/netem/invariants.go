@@ -115,6 +115,8 @@ func (iv *Invariants) checkConverged() {
 // no link carried more than capacity × duration during the phase, plus
 // the backlog that may drain after the boundary (one queue plus one
 // packet of slack — packets are charged to the phase that enqueued them).
+// Capacity is the effective (degradation-scaled) rate; DegradeAt places a
+// phase boundary at each change, so the rate is constant over a phase.
 func (iv *Invariants) checkPhaseCapacity(p *PhaseStats) {
 	dur := p.End - p.Start
 	if dur <= 0 {
@@ -122,7 +124,7 @@ func (iv *Invariants) checkPhaseCapacity(p *PhaseStats) {
 	}
 	slack := float64(iv.em.cfg.QueueBytes + iv.em.cfg.PacketBytes)
 	for e, b := range p.LinkBytes {
-		capBytes := iv.em.g.Link(graph.LinkID(e)).Capacity * 1e6 / 8 * dur
+		capBytes := iv.em.rateBytes(graph.LinkID(e)) * dur
 		if float64(b) > capBytes+slack {
 			iv.fail("capacity", "link %d carried %d bytes in a %.3fs phase (capacity %.0f + slack %.0f)",
 				e, b, dur, capBytes, slack)
@@ -153,6 +155,7 @@ const (
 	traceChaosDropData
 	traceChaosDup
 	traceStage
+	traceDegrade
 )
 
 func (k traceKind) String() string {
@@ -171,6 +174,8 @@ func (k traceKind) String() string {
 		return "chaos-dup"
 	case traceStage:
 		return "stage-round"
+	case traceDegrade:
+		return "link-degraded"
 	}
 	return "?"
 }

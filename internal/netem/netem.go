@@ -253,6 +253,9 @@ type Emulator struct {
 
 	linkUp   []bool
 	linkFree []float64 // time the link's transmitter becomes free
+	// capFrac is the lost capacity fraction per link (0 = full rate): a
+	// degraded link serializes at (1-capFrac)·rate but stays up.
+	capFrac []float64
 
 	phases []*PhaseStats
 	cur    *PhaseStats
@@ -326,6 +329,7 @@ func New(cfg Config) *Emulator {
 		em.linkUp[i] = true
 	}
 	em.linkFree = make([]float64, cfg.G.NumLinks())
+	em.capFrac = make([]float64, cfg.G.NumLinks())
 	em.notifSeen = make([]graph.LinkSet, cfg.G.NumNodes())
 	em.ctrlSeen = make([]map[ctrlStream]uint32, cfg.G.NumNodes())
 	em.ctrlNext = make([]map[graph.LinkID]uint32, cfg.G.NumNodes())
@@ -514,6 +518,54 @@ func (em *Emulator) FailAt(t float64, e graph.LinkID) {
 	})
 }
 
+// DegradeAt schedules a bidirectional partial capacity loss: from t on,
+// link e and its reverse serialize at (1-frac) of their configured rate
+// but stay up — no blackholing, no detection, no notification flood (the
+// flow-level reaction to degradation is exercised in core/eval; the
+// emulator measures what a degraded data plane delivers). A measurement
+// phase boundary is placed at t, so per-phase counters are judged against
+// the capacity in force while they accumulated. A repeat call replaces
+// the link's lost fraction (frac may shrink: partial recovery).
+//
+// frac <= 0 is a complete no-op — nothing is scheduled, not even the
+// phase boundary, so a run stays byte-identical to one without the call.
+// frac >= 1 is a full loss and delegates to FailAt, making the α=0 limit
+// of the degradation envelope exactly the hard-failure emulation.
+func (em *Emulator) DegradeAt(t float64, e graph.LinkID, frac float64) {
+	if frac <= 0 || math.IsNaN(frac) {
+		return
+	}
+	if frac >= 1 {
+		em.FailAt(t, e)
+		return
+	}
+	em.schedule(t, func() {
+		ids := []graph.LinkID{e}
+		if rev := em.g.Link(e).Reverse; rev >= 0 {
+			ids = append(ids, rev)
+		}
+		em.closePhase(em.now)
+		em.cur = em.newPhase(em.now)
+		for _, id := range ids {
+			em.capFrac[id] = frac
+			em.trace.add(em.now, traceDegrade, int32(id), -1)
+		}
+	})
+}
+
+// DegradedFrac returns link e's current lost capacity fraction.
+func (em *Emulator) DegradedFrac(e graph.LinkID) float64 { return em.capFrac[e] }
+
+// rateBytes is link out's current serialization rate in bytes/sec:
+// configured capacity (Mbps) scaled by any degradation in force.
+func (em *Emulator) rateBytes(out graph.LinkID) float64 {
+	r := em.g.Link(out).Capacity * 1e6 / 8
+	if f := em.capFrac[out]; f > 0 {
+		r *= 1 - f
+	}
+	return r
+}
+
 // failNow takes a set of directed links down at the current instant as
 // one correlated event: one phase boundary, then detection and
 // notification per link. FailAt routes single duplex failures here;
@@ -694,7 +746,7 @@ func (em *Emulator) receiveCtrl(fwd Forwarder, u graph.NodeID, pk *Packet) {
 // or delay the packet in flight.
 func (em *Emulator) transmitCtrl(fwd Forwarder, out graph.LinkID, pk *Packet) {
 	link := em.g.Link(out)
-	rateBytes := link.Capacity * 1e6 / 8
+	rateBytes := em.rateBytes(out)
 	start := em.linkFree[out]
 	if start < em.now {
 		start = em.now
@@ -749,7 +801,7 @@ func (em *Emulator) forward(u graph.NodeID, pk *Packet, hops int) {
 		return
 	}
 	link := em.g.Link(out)
-	rateBytes := link.Capacity * 1e6 / 8 // capacity is Mbps
+	rateBytes := em.rateBytes(out) // capacity is Mbps
 	backlog := (em.linkFree[out] - em.now) * rateBytes
 	if backlog > float64(em.cfg.QueueBytes) {
 		em.drop(pk)

@@ -159,6 +159,14 @@ func (s *Optimal) Name() string { return "optimal" }
 
 // Loads implements Scheme.
 func (s *Optimal) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, float64) {
+	return s.ScenarioLoads(failed, nil, d)
+}
+
+// ScenarioLoads is Loads under degraded capacities: capScale (length
+// NumLinks when non-nil) multiplies each link's capacity in the
+// optimization, so the optimum respects a scenario's effective
+// capacities. A nil capScale computes exactly Loads.
+func (s *Optimal) ScenarioLoads(failed graph.LinkSet, capScale []float64, d *traffic.Matrix) ([]float64, float64) {
 	comms := routing.ODCommodities(s.G.NumNodes(), d.At)
 	iters := s.Iterations
 	if iters == 0 {
@@ -169,7 +177,7 @@ func (s *Optimal) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, flo
 		s.mu.Lock()
 		warm := s.warm
 		s.mu.Unlock()
-		exact, err := mcf.MinMLUExact(s.G, comms, mcf.Options{Alive: failed.Alive(), Warm: warm, Obs: s.Obs})
+		exact, err := mcf.MinMLUExact(s.G, comms, mcf.Options{Alive: failed.Alive(), CapScale: capScale, Warm: warm, Obs: s.Obs})
 		if err == nil {
 			s.mu.Lock()
 			if s.warm == nil {
@@ -180,7 +188,7 @@ func (s *Optimal) Loads(failed graph.LinkSet, d *traffic.Matrix) ([]float64, flo
 		}
 	}
 	if res == nil {
-		res = mcf.MinMLU(s.G, comms, mcf.Options{Alive: failed.Alive(), Iterations: iters})
+		res = mcf.MinMLU(s.G, comms, mcf.Options{Alive: failed.Alive(), CapScale: capScale, Iterations: iters})
 	}
 	var lost float64
 	for k := range res.Flow.Comms {

@@ -28,12 +28,24 @@ type Scheme interface {
 // Bottleneck returns the maximum utilization of the given loads over the
 // surviving links.
 func Bottleneck(g *graph.Graph, failed graph.LinkSet, loads []float64) float64 {
+	return BottleneckScaled(g, failed, nil, loads)
+}
+
+// BottleneckScaled is Bottleneck against degraded capacities: capScale
+// (length NumLinks when non-nil) multiplies each link's capacity, so a
+// partially degraded link is judged at its effective capacity. A nil
+// capScale computes exactly Bottleneck.
+func BottleneckScaled(g *graph.Graph, failed graph.LinkSet, capScale []float64, loads []float64) float64 {
 	worst := 0.0
 	for e, l := range loads {
 		if failed.Contains(graph.LinkID(e)) {
 			continue
 		}
-		if u := l / g.Link(graph.LinkID(e)).Capacity; u > worst {
+		c := g.Link(graph.LinkID(e)).Capacity
+		if capScale != nil {
+			c *= capScale[e]
+		}
+		if u := l / c; u > worst {
 			worst = u
 		}
 	}
